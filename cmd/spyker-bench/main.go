@@ -1,0 +1,87 @@
+// Command spyker-bench regenerates every table and figure of the paper's
+// evaluation section. Each experiment prints the same rows/series the
+// paper reports (see DESIGN.md for the per-experiment index).
+//
+// Usage:
+//
+//	spyker-bench -exp all            # run the whole evaluation
+//	spyker-bench -exp fig5 -scale 1  # one experiment at full scale
+//
+// -scale in (0,1] shrinks client populations and horizons proportionally
+// for quick runs; the shapes the paper reports are preserved.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/spyker-fl/spyker/internal/experiments"
+)
+
+type renderer interface{ Render() string }
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig3|fig5|fig7|fig9|fig10|fig11|fig12|table5|table6|table7|churn|ablations|clustering|compression|servers|byzantine|straggler|all")
+	scale := flag.Float64("scale", 0.5, "deployment scale in (0,1]; 1 = paper-size populations")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	t90 := flag.Float64("target90", 0.90, "lower accuracy target for table6")
+	t95 := flag.Float64("target95", 0.93, "upper accuracy target for table6")
+	flag.Parse()
+
+	if err := run(*exp, *scale, *seed, *t90, *t95); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, scale float64, seed int64, t90, t95 float64) error {
+	type job struct {
+		name string
+		fn   func() (renderer, error)
+	}
+	jobs := []job{
+		{"fig3", func() (renderer, error) { return experiments.RunComparison(experiments.TaskWiki, scale, seed) }},
+		{"fig5", func() (renderer, error) { return experiments.RunComparison(experiments.TaskMNIST, scale, seed) }},
+		{"fig7", func() (renderer, error) { return experiments.RunComparison(experiments.TaskCIFAR, scale, seed) }},
+		{"table5", func() (renderer, error) { return experiments.RunScalabilityStudy(scale, 0.88, seed) }},
+		{"table6", func() (renderer, error) { return experiments.RunLatencyStudy(scale, t90, t95, seed) }},
+		{"fig9", func() (renderer, error) { return experiments.RunQueueStudy(scale, seed) }},
+		{"fig10", func() (renderer, error) { return experiments.RunKDEStudy(scale, seed) }},
+		{"table7", func() (renderer, error) { return experiments.RunImbalanceStudy(scale, seed) }},
+		{"fig11", func() (renderer, error) { return experiments.RunDecayStudy(scale, seed) }},
+		{"fig12", func() (renderer, error) { return experiments.RunBandwidthStudy(scale, seed) }},
+		{"churn", func() (renderer, error) { return experiments.RunChurnStudy(scale, seed) }},
+		{"ablations", func() (renderer, error) { return experiments.RunAblations(scale, seed) }},
+		{"clustering", func() (renderer, error) { return experiments.RunClusteringStudy(scale, seed) }},
+		{"compression", func() (renderer, error) { return experiments.RunCompressionStudy(scale, seed) }},
+		{"servers", func() (renderer, error) { return experiments.RunServerScalingStudy(scale, seed) }},
+		{"byzantine", func() (renderer, error) { return experiments.RunByzantineStudy(scale, seed) }},
+		{"straggler", func() (renderer, error) { return experiments.RunStragglerStudy(scale, seed) }},
+	}
+	aliases := map[string]string{"fig4": "fig3", "fig6": "fig5", "fig8": "fig7"}
+	if a, ok := aliases[exp]; ok {
+		exp = a
+	}
+
+	ran := false
+	for _, j := range jobs {
+		if exp != "all" && exp != j.name {
+			continue
+		}
+		ran = true
+		start := time.Now()
+		r, err := j.fn()
+		if err != nil {
+			return fmt.Errorf("%s: %w", j.name, err)
+		}
+		fmt.Printf("\n################ %s (scale %.2f, %s wall) ################\n%s\n",
+			strings.ToUpper(j.name), scale, time.Since(start).Round(time.Millisecond), r.Render())
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+// Command quickstart runs the smallest end-to-end Spyker deployment: 4
+// geo-distributed servers, 40 clients, the MNIST-like workload, and prints
+// the accuracy trace as the model converges.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/spyker-fl/spyker/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	setup := experiments.Setup{
+		Task:         experiments.TaskMNIST,
+		NumServers:   4,
+		NumClients:   40,
+		NonIIDLabels: 2,
+		Seed:         1,
+		TargetAcc:    0.90,
+		Horizon:      120,
+	}
+	fmt.Println("quickstart: Spyker, 4 servers x 10 clients, MNIST-like, non-IID (l=2)")
+	res, err := experiments.Run("spyker", setup)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%8s %9s %9s %8s\n", "time(s)", "updates", "loss", "acc")
+	for _, p := range res.Trace {
+		fmt.Printf("%8.2f %9d %9.4f %7.1f%%\n", p.Time, p.Updates, p.Loss, 100*p.Acc)
+	}
+	if res.ReachedTarget {
+		fmt.Printf("\nreached %.0f%% accuracy after %.2f virtual seconds and %d client updates\n",
+			100*setup.TargetAcc, res.TimeToTarget, res.Updates)
+	} else {
+		fmt.Printf("\ndid not reach %.0f%% within %.0f virtual seconds (best %.1f%%)\n",
+			100*setup.TargetAcc, setup.Horizon, 100*res.Trace.BestAcc())
+	}
+	fmt.Printf("bytes on the wire: %d client-server, %d server-server\n",
+		res.BytesClientServer, res.BytesServerServer)
+	return nil
+}

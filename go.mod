@@ -1,0 +1,3 @@
+module github.com/spyker-fl/spyker
+
+go 1.24

@@ -1,0 +1,111 @@
+// Package baselines implements the comparison algorithms of the paper's
+// evaluation: FedAvg (synchronous single-server), FedAsync (asynchronous
+// single-server), HierFAVG (synchronous hierarchical multi-server), and
+// Sync-Spyker (Spyker with a synchronous server-model exchange). All run
+// under the same discrete-event environment as Spyker itself.
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/spyker-fl/spyker/internal/fl"
+	"github.com/spyker-fl/spyker/internal/geo"
+	"github.com/spyker-fl/spyker/internal/tensor"
+)
+
+// FedAsync is the asynchronous single-server baseline (Xie et al. 2019):
+// the server merges every client update the moment it arrives, weighted by
+// alpha * (1+staleness)^(-a), and immediately returns the new global model
+// to that client.
+type FedAsync struct {
+	server *fedAsyncServer
+}
+
+var _ fl.Algorithm = (*FedAsync)(nil)
+
+// Name implements fl.Algorithm.
+func (f *FedAsync) Name() string { return "FedAsync" }
+
+type fedAsyncServer struct {
+	env     *fl.Env
+	queue   *fl.ProcQueue
+	w       []float64
+	version int
+	clients map[int]*fl.SimClient
+	shares  map[int]float64 // d_k/d per client
+}
+
+// Build implements fl.Algorithm. FedAsync ignores all but the first server
+// spec: it is a single-server system; every client talks to server 0
+// across whatever latency separates their regions.
+func (f *FedAsync) Build(env *fl.Env) error {
+	if err := env.Validate(); err != nil {
+		return err
+	}
+	initial := env.NewModel(env.Seed).Params()
+	s := &fedAsyncServer{
+		env:     env,
+		queue:   fl.NewProcQueue(env.Sim, 0, env.Observer),
+		w:       tensor.Clone(initial),
+		clients: make(map[int]*fl.SimClient),
+		shares:  make(map[int]float64),
+	}
+	f.server = s
+
+	total := 0
+	for _, c := range env.Clients {
+		total += len(c.Shard)
+	}
+	for ci := range env.Clients {
+		spec := env.Clients[ci]
+		spec.Server = 0 // single server system
+		s.shares[ci] = float64(len(spec.Shard)) / float64(total)
+		c := &fl.SimClient{
+			Env:   env,
+			Spec:  spec,
+			Model: env.NewModel(env.Seed + int64(1000+ci)),
+			Deliver: func(clientID int, update []float64, meta any) {
+				ver, ok := meta.(int)
+				if !ok {
+					panic(fmt.Sprintf("baselines: fedasync meta %T is not a version", meta))
+				}
+				s.queue.Submit(env.Hyper.ProcFedAsync, func() {
+					s.handleUpdate(clientID, update, ver, f.params)
+				})
+			},
+		}
+		s.clients[ci] = c
+		c.HandleModel(initial, int(0), env.Hyper.ClientLR)
+	}
+	return nil
+}
+
+func (f *FedAsync) params() [][]float64 { return [][]float64{f.server.w} }
+
+func (s *fedAsyncServer) handleUpdate(client int, update []float64, ver int, models func() [][]float64) {
+	staleness := float64(s.version - ver)
+	if staleness < 0 {
+		staleness = 0
+	}
+	alphaT := s.env.Hyper.Alpha * math.Pow(1+staleness, -s.env.Hyper.StalenessExp)
+	tensor.Lerp(s.w, update, alphaT)
+	s.version++
+
+	s.env.Observer.ClientUpdateProcessed(s.env.Sim.Now(), 0, client, models)
+
+	src := s.env.ServerEndpoint(0)
+	dst := s.env.ClientEndpoint(client)
+	c := s.clients[client]
+	reply := tensor.Clone(s.w)
+	ver = s.version
+	s.env.Net.Send(src, dst, s.env.ModelBytes, geo.ClientServer, func() {
+		c.HandleModel(reply, ver, s.env.Hyper.ClientLR)
+	})
+}
+
+// GlobalParams exposes the live global model for tests.
+func (f *FedAsync) GlobalParams() []float64 { return f.server.w }
+
+// Version exposes the number of aggregated updates for tests.
+func (f *FedAsync) Version() int { return f.server.version }

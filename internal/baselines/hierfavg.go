@@ -1,0 +1,194 @@
+package baselines
+
+import (
+	"github.com/spyker-fl/spyker/internal/fl"
+	"github.com/spyker-fl/spyker/internal/geo"
+	"github.com/spyker-fl/spyker/internal/tensor"
+)
+
+// HierFAVG is the hierarchical multi-server baseline (Liu et al. 2020):
+// edge servers run synchronous FedAvg rounds with their own clients, and
+// every HierEdgeRounds rounds all edges synchronously ship their models to
+// a cloud server that computes the data-weighted global average and
+// redistributes it. The cloud is colocated with edge server 0, as the
+// paper places the principal server in one of the regions.
+type HierFAVG struct {
+	env   *fl.Env
+	edges []*hierEdge
+	cloud *hierCloud
+}
+
+var _ fl.Algorithm = (*HierFAVG)(nil)
+
+// Name implements fl.Algorithm.
+func (h *HierFAVG) Name() string { return "HierFAVG" }
+
+type hierEdge struct {
+	alg     *HierFAVG
+	id      int
+	queue   *fl.ProcQueue
+	w       []float64
+	clients map[int]*fl.SimClient
+	shares  map[int]float64 // within-edge data share
+	weight  float64         // edge data share of the global total
+
+	pending map[int][]float64
+	round   int
+}
+
+type hierCloud struct {
+	alg      *HierFAVG
+	endpoint geo.Endpoint
+	queue    *fl.ProcQueue
+	pending  map[int][]float64
+	rounds   int
+}
+
+// Build implements fl.Algorithm.
+func (h *HierFAVG) Build(env *fl.Env) error {
+	if err := env.Validate(); err != nil {
+		return err
+	}
+	h.env = env
+	initial := env.NewModel(env.Seed).Params()
+
+	total := 0
+	for _, c := range env.Clients {
+		total += len(c.Shard)
+	}
+
+	h.cloud = &hierCloud{
+		alg:      h,
+		endpoint: geo.Endpoint{ID: 2_000_000, Region: env.Servers[0].Region},
+		queue:    fl.NewProcQueue(env.Sim, len(env.Servers), env.Observer),
+		pending:  make(map[int][]float64),
+	}
+
+	h.edges = make([]*hierEdge, len(env.Servers))
+	for si := range env.Servers {
+		e := &hierEdge{
+			alg:     h,
+			id:      si,
+			queue:   fl.NewProcQueue(env.Sim, si, env.Observer),
+			w:       tensor.Clone(initial),
+			clients: make(map[int]*fl.SimClient),
+			shares:  make(map[int]float64),
+			pending: make(map[int][]float64),
+		}
+		edgeData := 0
+		for _, ci := range env.Servers[si].Clients {
+			edgeData += len(env.Clients[ci].Shard)
+		}
+		e.weight = float64(edgeData) / float64(total)
+		for _, ci := range env.Servers[si].Clients {
+			spec := env.Clients[ci]
+			e.shares[ci] = float64(len(spec.Shard)) / float64(edgeData)
+			edge := e
+			c := &fl.SimClient{
+				Env:   env,
+				Spec:  spec,
+				Model: env.NewModel(env.Seed + int64(1000+ci)),
+				Deliver: func(clientID int, update []float64, _ any) {
+					// Each received client model costs the Tab. 3 HierFAVG
+					// aggregation delay on the edge server's queue.
+					edge.queue.Submit(env.ProcFor(edge.id, env.Hyper.ProcHier), func() {
+						edge.receive(clientID, update)
+					})
+				},
+			}
+			e.clients[ci] = c
+		}
+		h.edges[si] = e
+	}
+	for _, e := range h.edges {
+		e.startRound()
+	}
+	return nil
+}
+
+func (h *HierFAVG) params() [][]float64 {
+	out := make([][]float64, len(h.edges))
+	for i, e := range h.edges {
+		out[i] = e.w
+	}
+	return out
+}
+
+func (e *hierEdge) startRound() {
+	e.round++
+	env := e.alg.env
+	src := env.ServerEndpoint(e.id)
+	snapshot := tensor.Clone(e.w)
+	for ci, c := range e.clients {
+		dst := env.ClientEndpoint(ci)
+		cc := c
+		env.Net.Send(src, dst, env.ModelBytes, geo.ClientServer, func() {
+			cc.HandleModel(snapshot, nil, env.Hyper.ClientLR)
+		})
+	}
+}
+
+func (e *hierEdge) receive(client int, update []float64) {
+	env := e.alg.env
+	e.pending[client] = update
+	env.Observer.ClientUpdateProcessed(env.Sim.Now(), e.id, client, e.alg.params)
+	if len(e.pending) < len(e.clients) {
+		return
+	}
+	round := e.pending
+	e.pending = make(map[int][]float64)
+	tensor.Zero(e.w)
+	for ci, up := range round {
+		tensor.AXPY(e.shares[ci], e.w, up)
+	}
+	if e.round%env.Hyper.HierEdgeRounds == 0 {
+		e.sendToCloud()
+	} else {
+		e.startRound()
+	}
+}
+
+func (e *hierEdge) sendToCloud() {
+	env := e.alg.env
+	src := env.ServerEndpoint(e.id)
+	snapshot := tensor.Clone(e.w)
+	cloud := e.alg.cloud
+	env.Net.Send(src, cloud.endpoint, env.ModelBytes, geo.ServerServer, func() {
+		// Each edge model costs one aggregation delay on the cloud queue.
+		cloud.queue.Submit(env.Hyper.ProcHier, func() {
+			cloud.receive(e.id, snapshot)
+		})
+	})
+}
+
+func (c *hierCloud) receive(edge int, model []float64) {
+	c.pending[edge] = model
+	if len(c.pending) < len(c.alg.edges) {
+		return
+	}
+	round := c.pending
+	c.pending = make(map[int][]float64)
+	env := c.alg.env
+	c.rounds++
+	global := make([]float64, len(round[0]))
+	for ei, m := range round {
+		tensor.AXPY(c.alg.edges[ei].weight, global, m)
+	}
+	for _, e := range c.alg.edges {
+		edge := e
+		dst := env.ServerEndpoint(edge.id)
+		snapshot := tensor.Clone(global)
+		env.Net.Send(c.endpoint, dst, env.ModelBytes, geo.ServerServer, func() {
+			edge.queue.Submit(env.ProcFor(edge.id, env.Hyper.ProcHier), func() {
+				copy(edge.w, snapshot)
+				edge.startRound()
+			})
+		})
+	}
+}
+
+// CloudRounds reports how many global aggregations completed.
+func (h *HierFAVG) CloudRounds() int { return h.cloud.rounds }
+
+// EdgeParams exposes the live edge models for tests.
+func (h *HierFAVG) EdgeParams() [][]float64 { return h.params() }

@@ -1,0 +1,257 @@
+package baselines
+
+import (
+	"fmt"
+
+	"github.com/spyker-fl/spyker/internal/fl"
+	"github.com/spyker-fl/spyker/internal/geo"
+	"github.com/spyker-fl/spyker/internal/spyker"
+	"github.com/spyker-fl/spyker/internal/tensor"
+)
+
+// SyncSpyker is the partially synchronous Spyker variant of the paper's
+// evaluation: client/server interactions stay asynchronous (same staleness
+// weighting and learning-rate decay as Spyker), but servers exchange
+// models with a synchronous protocol. Periodically all servers stop
+// processing client updates, buffer them, broadcast their models, wait for
+// every peer model, aggregate them in a deterministic order (an
+// age-weighted average over server IDs, so every server ends up with the
+// same model), and then drain the buffered client updates.
+type SyncSpyker struct {
+	env     *fl.Env
+	servers []*syncServer
+}
+
+var _ fl.Algorithm = (*SyncSpyker)(nil)
+
+// Name implements fl.Algorithm.
+func (s *SyncSpyker) Name() string { return "Sync-Spyker" }
+
+type syncServer struct {
+	alg     *SyncSpyker
+	id      int
+	queue   *fl.ProcQueue
+	w       []float64
+	age     float64
+	clients map[int]*fl.SimClient
+
+	updates map[int]int
+	total   int
+
+	syncing  bool
+	buffered []bufferedUpdate
+	received map[int]serverModel
+	syncs    int
+}
+
+type bufferedUpdate struct {
+	client int
+	params []float64
+	age    float64
+}
+
+type serverModel struct {
+	params []float64
+	age    float64
+}
+
+// Build implements fl.Algorithm.
+func (s *SyncSpyker) Build(env *fl.Env) error {
+	if err := env.Validate(); err != nil {
+		return err
+	}
+	if env.Hyper.SyncPeriod <= 0 {
+		return fmt.Errorf("baselines: sync-spyker needs a positive SyncPeriod")
+	}
+	s.env = env
+	initial := env.NewModel(env.Seed).Params()
+
+	s.servers = make([]*syncServer, len(env.Servers))
+	for si := range env.Servers {
+		srv := &syncServer{
+			alg:      s,
+			id:       si,
+			queue:    fl.NewProcQueue(env.Sim, si, env.Observer),
+			w:        tensor.Clone(initial),
+			clients:  make(map[int]*fl.SimClient),
+			updates:  make(map[int]int),
+			received: make(map[int]serverModel),
+		}
+		s.servers[si] = srv
+		for _, ci := range env.Servers[si].Clients {
+			spec := env.Clients[ci]
+			server := srv
+			c := &fl.SimClient{
+				Env:   env,
+				Spec:  spec,
+				Model: env.NewModel(env.Seed + int64(1000+ci)),
+				Deliver: func(clientID int, update []float64, meta any) {
+					age, ok := meta.(float64)
+					if !ok {
+						panic(fmt.Sprintf("baselines: sync-spyker meta %T is not an age", meta))
+					}
+					server.deliverUpdate(clientID, update, age)
+				},
+			}
+			srv.clients[ci] = c
+			c.HandleModel(initial, float64(0), env.Hyper.ClientLR)
+		}
+	}
+
+	// All servers start an exchange on the shared period; the simulator's
+	// virtual clocks are perfectly synchronized, as the paper's emulation
+	// assumes.
+	var schedule func(t float64)
+	schedule = func(t float64) {
+		env.Sim.ScheduleAt(t, func() {
+			// A round only starts when every server finished the previous
+			// one; otherwise two rounds' models could interleave.
+			allIdle := true
+			for _, srv := range s.servers {
+				if srv.syncing {
+					allIdle = false
+					break
+				}
+			}
+			if allIdle {
+				for _, srv := range s.servers {
+					srv.beginSync()
+				}
+			}
+			schedule(t + env.Hyper.SyncPeriod)
+		})
+	}
+	schedule(env.Hyper.SyncPeriod)
+	return nil
+}
+
+func (s *SyncSpyker) params() [][]float64 {
+	out := make([][]float64, len(s.servers))
+	for i, srv := range s.servers {
+		out[i] = srv.w
+	}
+	return out
+}
+
+// deliverUpdate either buffers (during a synchronization, per the paper:
+// "servers stop processing local updates from clients, and instead store
+// them") or submits the update for processing.
+func (srv *syncServer) deliverUpdate(client int, params []float64, age float64) {
+	if srv.syncing {
+		srv.buffered = append(srv.buffered, bufferedUpdate{client, params, age})
+		return
+	}
+	srv.processUpdate(client, params, age)
+}
+
+func (srv *syncServer) processUpdate(client int, params []float64, age float64) {
+	env := srv.alg.env
+	srv.queue.Submit(env.ProcFor(srv.id, env.Hyper.ProcSyncSpyker), func() {
+		srv.updates[client]++
+		srv.total++
+		lr := env.Hyper.ClientLR
+		damp := 1.0
+		if env.Hyper.DecayEnabled {
+			uBar := float64(srv.total) / float64(len(srv.clients))
+			lr = spyker.DecayRate(env.Hyper.ClientLR, env.Hyper.Beta,
+				env.Hyper.EtaMin, float64(srv.updates[client]), uBar)
+			if env.Hyper.ClientLR > 0 {
+				// Same server-side dampening as Spyker: see
+				// spyker.ServerCore.HandleClientUpdate.
+				damp = lr / env.Hyper.ClientLR
+			}
+		}
+		wk := spyker.StalenessWeight(srv.age, age)
+		tensor.Lerp(srv.w, params, env.Hyper.EtaServer*wk*damp)
+		srv.age++
+		env.Observer.ClientUpdateProcessed(env.Sim.Now(), srv.id, client, srv.alg.params)
+
+		src := env.ServerEndpoint(srv.id)
+		dst := env.ClientEndpoint(client)
+		c := srv.clients[client]
+		reply := tensor.Clone(srv.w)
+		replyAge := srv.age
+		env.Net.Send(src, dst, env.ModelBytes, geo.ClientServer, func() {
+			c.HandleModel(reply, replyAge, lr)
+		})
+	})
+}
+
+// beginSync broadcasts this server's model to every peer and enters the
+// buffering state.
+func (srv *syncServer) beginSync() {
+	env := srv.alg.env
+	if srv.syncing {
+		// The previous exchange is still in flight (the period is shorter
+		// than the exchange latency); skip this round rather than mixing
+		// two rounds' models.
+		return
+	}
+	srv.syncing = true
+	srv.received[srv.id] = serverModel{tensor.Clone(srv.w), srv.age}
+	src := env.ServerEndpoint(srv.id)
+	for _, peer := range srv.alg.servers {
+		if peer.id == srv.id {
+			continue
+		}
+		p := peer
+		dst := env.ServerEndpoint(p.id)
+		snapshot := tensor.Clone(srv.w)
+		age := srv.age
+		from := srv.id
+		env.Net.Send(src, dst, env.ModelBytes, geo.ServerServer, func() {
+			p.receiveModel(from, snapshot, age)
+		})
+	}
+	srv.maybeFinishSync()
+}
+
+func (srv *syncServer) receiveModel(from int, params []float64, age float64) {
+	srv.received[from] = serverModel{params, age}
+	srv.maybeFinishSync()
+}
+
+// maybeFinishSync completes the exchange once all peer models arrived: all
+// servers deterministically compute the same age-weighted average and then
+// drain their buffered client updates.
+func (srv *syncServer) maybeFinishSync() {
+	env := srv.alg.env
+	if !srv.syncing || len(srv.received) < len(srv.alg.servers) {
+		return
+	}
+	round := srv.received
+	srv.received = make(map[int]serverModel)
+	srv.queue.Submit(env.ProcFor(srv.id, env.Hyper.ProcSyncSpyker), func() {
+		var totalAge float64
+		for id := range srv.alg.servers {
+			totalAge += round[id].age
+		}
+		tensor.Zero(srv.w)
+		if totalAge > 0 {
+			for id := range srv.alg.servers {
+				m := round[id]
+				tensor.AXPY(m.age/totalAge, srv.w, m.params)
+			}
+			srv.age = totalAge / float64(len(srv.alg.servers))
+		} else {
+			// Nothing trained anywhere yet: plain average keeps servers
+			// identical.
+			for id := range srv.alg.servers {
+				tensor.AXPY(1/float64(len(srv.alg.servers)), srv.w, round[id].params)
+			}
+		}
+		srv.syncs++
+		srv.syncing = false
+		buffered := srv.buffered
+		srv.buffered = nil
+		for _, b := range buffered {
+			srv.processUpdate(b.client, b.params, b.age)
+		}
+	})
+}
+
+// Syncs reports the number of completed synchronous exchanges on server 0.
+func (s *SyncSpyker) Syncs() int { return s.servers[0].syncs }
+
+// ServerParams exposes the live server models for tests.
+func (s *SyncSpyker) ServerParams() [][]float64 { return s.params() }

@@ -1,0 +1,232 @@
+// Package cluster implements the client-clustering extension the paper
+// names as future work (Sec. 7): grouping clients by the similarity of
+// their data distributions so the client→server assignment can take data
+// heterogeneity into account, not just geography. Clients are embedded as
+// label histograms of their local shards and clustered with balanced
+// k-means.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/spyker-fl/spyker/internal/data"
+)
+
+// LabelHistograms embeds every client as the normalized label histogram
+// of its shard — the natural "data distribution" fingerprint for
+// label-skewed federated data.
+func LabelHistograms(ds data.Classification, shards [][]int) [][]float64 {
+	out := make([][]float64, len(shards))
+	for c, shard := range shards {
+		h := make([]float64, ds.NumClasses())
+		for _, i := range shard {
+			h[ds.Label(i)]++
+		}
+		if len(shard) > 0 {
+			for l := range h {
+				h[l] /= float64(len(shard))
+			}
+		}
+		out[c] = h
+	}
+	return out
+}
+
+// KMeans runs Lloyd's algorithm with k-means++ seeding and returns the
+// final centroids and the cluster index of every point. It is
+// deterministic for a given seed.
+func KMeans(points [][]float64, k int, seed int64, iters int) (centroids [][]float64, assign []int) {
+	if k <= 0 || len(points) == 0 {
+		panic(fmt.Sprintf("cluster: KMeans with k=%d over %d points", k, len(points)))
+	}
+	if k > len(points) {
+		k = len(points)
+	}
+	if iters <= 0 {
+		iters = 50
+	}
+	rng := rand.New(rand.NewSource(seed))
+	dim := len(points[0])
+	centroids = seedPlusPlus(points, k, rng)
+	assign = make([]int, len(points))
+
+	for it := 0; it < iters; it++ {
+		changed := false
+		for i, p := range points {
+			best := nearest(centroids, p)
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		// Recompute centroids; empty clusters grab the farthest point.
+		counts := make([]int, k)
+		sums := make([][]float64, k)
+		for c := range sums {
+			sums[c] = make([]float64, dim)
+		}
+		for i, p := range points {
+			counts[assign[i]]++
+			for d, v := range p {
+				sums[assign[i]][d] += v
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				far := farthestPoint(points, centroids, assign)
+				assign[far] = c
+				copy(centroids[c], points[far])
+				changed = true
+				continue
+			}
+			for d := range sums[c] {
+				centroids[c][d] = sums[c][d] / float64(counts[c])
+			}
+		}
+		if !changed && it > 0 {
+			break
+		}
+	}
+	return centroids, assign
+}
+
+// seedPlusPlus picks k initial centroids with the k-means++ scheme.
+func seedPlusPlus(points [][]float64, k int, rng *rand.Rand) [][]float64 {
+	centroids := make([][]float64, 0, k)
+	first := points[rng.Intn(len(points))]
+	centroids = append(centroids, clone(first))
+	for len(centroids) < k {
+		dists := make([]float64, len(points))
+		var total float64
+		for i, p := range points {
+			d := dist2(p, centroids[nearest(centroids, p)])
+			dists[i] = d
+			total += d
+		}
+		if total == 0 {
+			// All points coincide with existing centroids: duplicate one.
+			centroids = append(centroids, clone(points[rng.Intn(len(points))]))
+			continue
+		}
+		u := rng.Float64() * total
+		var acc float64
+		pick := len(points) - 1
+		for i, d := range dists {
+			acc += d
+			if u < acc {
+				pick = i
+				break
+			}
+		}
+		centroids = append(centroids, clone(points[pick]))
+	}
+	return centroids
+}
+
+// BalancedGroups clusters points into k groups of (near-)equal size:
+// k-means establishes the geometry, then points are assigned greedily in
+// order of assignment confidence with per-group capacity ceil(n/k). The
+// balance constraint is what a multi-server deployment needs — every
+// server must carry a similar client load (the paper's Tab. 7 shows what
+// imbalance costs).
+func BalancedGroups(points [][]float64, k int, seed int64) [][]int {
+	if k <= 0 {
+		panic("cluster: BalancedGroups with non-positive k")
+	}
+	n := len(points)
+	if n == 0 {
+		return make([][]int, k)
+	}
+	centroids, _ := KMeans(points, k, seed, 50)
+	cap0 := (n + k - 1) / k
+
+	// Order points by how strongly they prefer their best centroid over
+	// their second-best; decisive points claim their cluster first.
+	type pref struct {
+		point  int
+		margin float64
+	}
+	prefs := make([]pref, n)
+	for i, p := range points {
+		d := make([]float64, len(centroids))
+		for c := range centroids {
+			d[c] = dist2(p, centroids[c])
+		}
+		sorted := append([]float64(nil), d...)
+		sort.Float64s(sorted)
+		margin := math.Inf(1)
+		if len(sorted) > 1 {
+			margin = sorted[1] - sorted[0]
+		}
+		prefs[i] = pref{point: i, margin: margin}
+	}
+	sort.Slice(prefs, func(a, b int) bool {
+		if prefs[a].margin != prefs[b].margin {
+			return prefs[a].margin > prefs[b].margin
+		}
+		return prefs[a].point < prefs[b].point
+	})
+
+	groups := make([][]int, k)
+	for _, pr := range prefs {
+		p := points[pr.point]
+		// Best centroid with remaining capacity.
+		best, bestD := -1, math.Inf(1)
+		for c := range centroids {
+			if len(groups[c]) >= cap0 {
+				continue
+			}
+			if d := dist2(p, centroids[c]); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		if best == -1 { // all full (can happen with rounding); take smallest
+			for c := range groups {
+				if best == -1 || len(groups[c]) < len(groups[best]) {
+					best = c
+				}
+			}
+		}
+		groups[best] = append(groups[best], pr.point)
+	}
+	for _, g := range groups {
+		sort.Ints(g)
+	}
+	return groups
+}
+
+func nearest(centroids [][]float64, p []float64) int {
+	best, bestD := 0, math.Inf(1)
+	for c, ct := range centroids {
+		if d := dist2(p, ct); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+func farthestPoint(points, centroids [][]float64, assign []int) int {
+	best, bestD := 0, -1.0
+	for i, p := range points {
+		if d := dist2(p, centroids[assign[i]]); d > bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+func dist2(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func clone(a []float64) []float64 {
+	return append([]float64(nil), a...)
+}

@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/spyker-fl/spyker/internal/data"
+)
+
+// separablePoints builds k well-separated Gaussian blobs.
+func separablePoints(rng *rand.Rand, k, perBlob, dim int) ([][]float64, []int) {
+	points := make([][]float64, 0, k*perBlob)
+	truth := make([]int, 0, k*perBlob)
+	for b := 0; b < k; b++ {
+		center := make([]float64, dim)
+		center[b%dim] = 10 * float64(b+1)
+		for i := 0; i < perBlob; i++ {
+			p := make([]float64, dim)
+			for d := range p {
+				p[d] = center[d] + rng.NormFloat64()*0.3
+			}
+			points = append(points, p)
+			truth = append(truth, b)
+		}
+	}
+	return points, truth
+}
+
+func TestKMeansRecoversSeparableBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	points, truth := separablePoints(rng, 3, 20, 4)
+	_, assign := KMeans(points, 3, 1, 50)
+
+	// Cluster labels are arbitrary; check that each true blob maps to a
+	// single cluster and distinct blobs map to distinct clusters.
+	blobCluster := map[int]int{}
+	for i, a := range assign {
+		b := truth[i]
+		if prev, ok := blobCluster[b]; ok {
+			if prev != a {
+				t.Fatalf("blob %d split across clusters %d and %d", b, prev, a)
+			}
+		} else {
+			blobCluster[b] = a
+		}
+	}
+	seen := map[int]bool{}
+	for _, c := range blobCluster {
+		if seen[c] {
+			t.Fatal("two blobs merged into one cluster")
+		}
+		seen[c] = true
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	points, _ := separablePoints(rng, 4, 10, 3)
+	_, a1 := KMeans(points, 4, 7, 50)
+	_, a2 := KMeans(points, 4, 7, 50)
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("same seed produced different clustering")
+		}
+	}
+}
+
+func TestKMeansKLargerThanN(t *testing.T) {
+	points := [][]float64{{1, 0}, {0, 1}}
+	centroids, assign := KMeans(points, 5, 1, 10)
+	if len(centroids) != 2 || len(assign) != 2 {
+		t.Errorf("k should clamp to n: %d centroids", len(centroids))
+	}
+}
+
+func TestKMeansInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	KMeans(nil, 3, 1, 10)
+}
+
+func TestBalancedGroupsPartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(60)
+		k := 2 + rng.Intn(4)
+		points := make([][]float64, n)
+		for i := range points {
+			points[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+		}
+		groups := BalancedGroups(points, k, seed)
+		if len(groups) != k {
+			return false
+		}
+		seen := make(map[int]bool)
+		maxSize := (n + k - 1) / k
+		for _, g := range groups {
+			if len(g) > maxSize {
+				return false // balance violated
+			}
+			for _, p := range g {
+				if p < 0 || p >= n || seen[p] {
+					return false // not a partition
+				}
+				seen[p] = true
+			}
+		}
+		return len(seen) == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBalancedGroupsKeepSimilarTogether(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	points, truth := separablePoints(rng, 4, 10, 4)
+	groups := BalancedGroups(points, 4, 3)
+	// With equal blob sizes the balanced assignment should equal the
+	// unconstrained clustering: each group holds exactly one blob.
+	for _, g := range groups {
+		if len(g) != 10 {
+			t.Fatalf("group size %d, want 10", len(g))
+		}
+		blob := truth[g[0]]
+		for _, p := range g {
+			if truth[p] != blob {
+				t.Fatalf("group mixes blobs %d and %d", blob, truth[p])
+			}
+		}
+	}
+}
+
+func TestLabelHistograms(t *testing.T) {
+	ds := data.GenerateImages(data.MNISTLike(100, 0, 1))
+	shards := data.PartitionByLabel(ds, 10, 2, 1)
+	hists := LabelHistograms(ds, shards)
+	if len(hists) != 10 {
+		t.Fatalf("hists = %d", len(hists))
+	}
+	for c, h := range hists {
+		var sum float64
+		nonzero := 0
+		for _, v := range h {
+			sum += v
+			if v > 0 {
+				nonzero++
+			}
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("client %d histogram sums to %v", c, sum)
+		}
+		if nonzero > 2 {
+			t.Errorf("client %d has %d labels, partition promised <= 2", c, nonzero)
+		}
+	}
+}

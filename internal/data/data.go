@@ -1,0 +1,228 @@
+// Package data provides the datasets the experiments train on and the
+// partitioning schemes that distribute them over federated clients.
+//
+// The paper evaluates on MNIST, CIFAR-10 and WikiText-2. Those corpora are
+// not available in this offline environment, so the package generates
+// synthetic stand-ins of the same shape (see DESIGN.md, "Substitutions"):
+// class-template images plus Gaussian noise for the two vision tasks, and a
+// Markov-chain character stream for the language-modeling task. Both are
+// learnable by the same model families the paper uses and support the
+// label-skewed non-IID splits (l labels per client) the paper evaluates.
+package data
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Thin aliases keep the sampling code readable.
+func pow(x, y float64) float64 { return math.Pow(x, y) }
+func sqrt(x float64) float64   { return math.Sqrt(x) }
+func logf(x float64) float64   { return math.Log(x) }
+
+// Classification is a labeled vector dataset.
+type Classification interface {
+	// Len reports the number of examples.
+	Len() int
+	// Input returns the feature vector of example i. The returned slice
+	// must not be modified.
+	Input(i int) []float64
+	// Label returns the class of example i.
+	Label(i int) int
+	// NumClasses reports how many distinct labels exist.
+	NumClasses() int
+}
+
+// PartitionIID splits n examples into numClients equal-size shards after a
+// seeded shuffle, mimicking an IID split. Remainder examples go to the
+// first shards.
+func PartitionIID(n, numClients int, seed int64) [][]int {
+	if numClients <= 0 {
+		panic("data: PartitionIID with non-positive client count")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	shards := make([][]int, numClients)
+	base := n / numClients
+	rem := n % numClients
+	pos := 0
+	for c := 0; c < numClients; c++ {
+		size := base
+		if c < rem {
+			size++
+		}
+		shards[c] = append([]int(nil), perm[pos:pos+size]...)
+		pos += size
+	}
+	return shards
+}
+
+// PartitionByLabel produces the paper's non-IID split: each client receives
+// examples drawn from exactly labelsPerClient distinct labels, with the
+// dataset split into equal-size shards. Labels are assigned round-robin so
+// every label is covered when numClients*labelsPerClient >= NumClasses.
+func PartitionByLabel(ds Classification, numClients, labelsPerClient int, seed int64) [][]int {
+	if labelsPerClient <= 0 || labelsPerClient > ds.NumClasses() {
+		panic(fmt.Sprintf("data: labelsPerClient %d out of range 1..%d",
+			labelsPerClient, ds.NumClasses()))
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Bucket example indices per label, shuffled within each bucket.
+	byLabel := make([][]int, ds.NumClasses())
+	for i := 0; i < ds.Len(); i++ {
+		l := ds.Label(i)
+		byLabel[l] = append(byLabel[l], i)
+	}
+	for _, b := range byLabel {
+		rng.Shuffle(len(b), func(i, j int) { b[i], b[j] = b[j], b[i] })
+	}
+
+	// Assign labelsPerClient labels to each client, cycling through a
+	// shuffled label order so label popularity stays balanced.
+	labelOrder := rng.Perm(ds.NumClasses())
+	clientLabels := make([][]int, numClients)
+	li := 0
+	for c := 0; c < numClients; c++ {
+		for k := 0; k < labelsPerClient; k++ {
+			clientLabels[c] = append(clientLabels[c], labelOrder[li%len(labelOrder)])
+			li++
+		}
+	}
+
+	// Count how many clients want each label, then split each label bucket
+	// into that many contiguous chunks.
+	demand := make([]int, ds.NumClasses())
+	for _, ls := range clientLabels {
+		for _, l := range ls {
+			demand[l]++
+		}
+	}
+	next := make([]int, ds.NumClasses()) // next chunk index per label
+	shards := make([][]int, numClients)
+	for c := 0; c < numClients; c++ {
+		for _, l := range clientLabels[c] {
+			bucket := byLabel[l]
+			chunk := len(bucket) / demand[l]
+			start := next[l] * chunk
+			end := start + chunk
+			if next[l] == demand[l]-1 {
+				end = len(bucket) // last taker absorbs the remainder
+			}
+			shards[c] = append(shards[c], bucket[start:end]...)
+			next[l]++
+		}
+	}
+	return shards
+}
+
+// PartitionDirichlet produces the other standard non-IID split of the FL
+// literature: for every label, the examples are divided over clients with
+// proportions drawn from a symmetric Dirichlet(alpha) distribution. Small
+// alpha (e.g. 0.1) gives extreme skew; large alpha approaches IID. Unlike
+// PartitionByLabel, every client can hold every label, just in very
+// different proportions.
+func PartitionDirichlet(ds Classification, numClients int, alpha float64, seed int64) [][]int {
+	if numClients <= 0 || alpha <= 0 {
+		panic(fmt.Sprintf("data: PartitionDirichlet(%d clients, alpha=%v)", numClients, alpha))
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	byLabel := make([][]int, ds.NumClasses())
+	for i := 0; i < ds.Len(); i++ {
+		l := ds.Label(i)
+		byLabel[l] = append(byLabel[l], i)
+	}
+	shards := make([][]int, numClients)
+	for _, bucket := range byLabel {
+		rng.Shuffle(len(bucket), func(i, j int) { bucket[i], bucket[j] = bucket[j], bucket[i] })
+		props := dirichlet(rng, numClients, alpha)
+		// Convert proportions to cumulative cut points over the bucket.
+		pos := 0
+		var acc float64
+		for c := 0; c < numClients; c++ {
+			acc += props[c]
+			end := int(acc*float64(len(bucket)) + 0.5)
+			if c == numClients-1 {
+				end = len(bucket)
+			}
+			if end > len(bucket) {
+				end = len(bucket)
+			}
+			if end > pos {
+				shards[c] = append(shards[c], bucket[pos:end]...)
+				pos = end
+			}
+		}
+	}
+	return shards
+}
+
+// dirichlet samples a symmetric Dirichlet(alpha) vector of length n using
+// the Gamma(alpha,1) construction (Marsaglia-Tsang for alpha >= 1, with
+// the boost transform for alpha < 1).
+func dirichlet(rng *rand.Rand, n int, alpha float64) []float64 {
+	out := make([]float64, n)
+	var sum float64
+	for i := range out {
+		out[i] = gammaSample(rng, alpha)
+		sum += out[i]
+	}
+	if sum == 0 {
+		// Numerically degenerate draw; fall back to uniform.
+		for i := range out {
+			out[i] = 1 / float64(n)
+		}
+		return out
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// gammaSample draws from Gamma(shape, 1).
+func gammaSample(rng *rand.Rand, shape float64) float64 {
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return gammaSample(rng, shape+1) * pow(u, 1/shape)
+	}
+	// Marsaglia & Tsang (2000).
+	d := shape - 1.0/3
+	c := 1 / sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && logf(u) < 0.5*x*x+d*(1-v+logf(v)) {
+			return d * v
+		}
+	}
+}
+
+// LabelSet returns the sorted distinct labels present in shard.
+func LabelSet(ds Classification, shard []int) []int {
+	seen := make(map[int]bool)
+	for _, i := range shard {
+		seen[ds.Label(i)] = true
+	}
+	out := make([]int, 0, len(seen))
+	for l := 0; l < ds.NumClasses(); l++ {
+		if seen[l] {
+			out = append(out, l)
+		}
+	}
+	return out
+}

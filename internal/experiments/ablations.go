@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/spyker-fl/spyker/internal/fl"
+)
+
+// Ablations sweeps the Spyker design knobs the paper calls out in
+// Sec. 4 — the synchronization triggers (h_inter, h_intra), the
+// server-aggregation rate eta_a, and the sigmoid activation rate phi —
+// and reports how each setting trades convergence time against
+// server-server bandwidth. This goes beyond the paper's evaluation, which
+// fixes these at the Tab. 2 values.
+type Ablations struct {
+	Target float64
+	HInter []AblationPoint
+	EtaA   []AblationPoint
+	Phi    []AblationPoint
+}
+
+// AblationPoint is one sweep setting and its outcome.
+type AblationPoint struct {
+	Value        float64
+	TimeToTarget float64 // 0 = not reached
+	Updates      int
+	ServerBytes  int // server-server traffic, the cost of synchronizing
+	Syncs        int // updates-triggered evaluations are not counted
+}
+
+// RunAblations executes all three sweeps on the MNIST task.
+func RunAblations(scale float64, seed int64) (*Ablations, error) {
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	clients := int(100 * scale)
+	if clients < 8 {
+		clients = 8
+	}
+	const target = 0.92
+	a := &Ablations{Target: target}
+
+	run := func(mod func(h *fl.Hyper)) (AblationPoint, error) {
+		hyper := fl.DefaultHyper(clients, 4)
+		mod(&hyper)
+		setup := Setup{
+			Task:         TaskMNIST,
+			NumServers:   4,
+			NumClients:   clients,
+			NonIIDLabels: 2,
+			Seed:         seed,
+			TargetAcc:    target,
+			Horizon:      120,
+			Hyper:        &hyper,
+		}
+		res, err := Run("spyker", setup)
+		if err != nil {
+			return AblationPoint{}, err
+		}
+		tt, ok := res.Trace.TimeToAcc(target)
+		if !ok {
+			tt = 0
+		}
+		upd, _ := res.Trace.UpdatesToAcc(target)
+		return AblationPoint{
+			TimeToTarget: tt,
+			Updates:      upd,
+			ServerBytes:  res.BytesServerServer,
+		}, nil
+	}
+
+	base := fl.DefaultHyper(clients, 4)
+	for _, v := range []float64{base.HInter / 4, base.HInter, base.HInter * 4, base.HInter * 16} {
+		v := v
+		p, err := run(func(h *fl.Hyper) { h.HInter = v })
+		if err != nil {
+			return nil, err
+		}
+		p.Value = v
+		a.HInter = append(a.HInter, p)
+	}
+	for _, v := range []float64{0.15, 0.3, 0.6, 0.9} {
+		v := v
+		p, err := run(func(h *fl.Hyper) { h.EtaA = v })
+		if err != nil {
+			return nil, err
+		}
+		p.Value = v
+		a.EtaA = append(a.EtaA, p)
+	}
+	for _, v := range []float64{0.5, 1.5, 3, 6} {
+		v := v
+		p, err := run(func(h *fl.Hyper) { h.Phi = v })
+		if err != nil {
+			return nil, err
+		}
+		p.Value = v
+		a.Phi = append(a.Phi, p)
+	}
+	return a, nil
+}
+
+// Render prints the three sweep tables.
+func (a *Ablations) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== Spyker design-knob ablations (target %.0f%%%% accuracy) ===\n", 100*a.Target)
+	render := func(name string, pts []AblationPoint) {
+		fmt.Fprintf(&b, "\n-- %s sweep --\n%10s %12s %10s %14s\n",
+			name, name, "t(target)", "updates", "srv-srv bytes")
+		for _, p := range pts {
+			tt := "(n/r)"
+			if p.TimeToTarget > 0 {
+				tt = fmt.Sprintf("%.2fs", p.TimeToTarget)
+			}
+			fmt.Fprintf(&b, "%10.3f %12s %10d %13.2fMB\n",
+				p.Value, tt, p.Updates, float64(p.ServerBytes)/1e6)
+		}
+	}
+	render("h_inter", a.HInter)
+	render("eta_a", a.EtaA)
+	render("phi", a.Phi)
+	b.WriteString("\nexpected: small h_inter = frequent syncs = more server-server bytes;\n" +
+		"too-large eta_a or too-small h_inter can slow convergence (paper Sec. 4.3).\n")
+	return b.String()
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/spyker-fl/spyker/internal/metrics"
+)
+
+// WriteTraceCSV writes an evaluation trace as CSV with a header, ready
+// for plotting: time_s, updates, loss, accuracy, perplexity.
+func WriteTraceCSV(w io.Writer, trace metrics.Trace) error {
+	if _, err := fmt.Fprintln(w, "time_s,updates,loss,accuracy,perplexity"); err != nil {
+		return err
+	}
+	for _, p := range trace {
+		if _, err := fmt.Fprintf(w, "%.6f,%d,%.6f,%.6f,%.6f\n",
+			p.Time, p.Updates, p.Loss, p.Acc, p.Perplexity()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteQueueCSV writes the queue-length traces of all servers as CSV:
+// server, time_s, length.
+func WriteQueueCSV(w io.Writer, queues map[int]metrics.QueueTrace) error {
+	if _, err := fmt.Fprintln(w, "server,time_s,length"); err != nil {
+		return err
+	}
+	for s := 0; s < len(queues); s++ {
+		for _, p := range queues[s] {
+			if _, err := fmt.Fprintf(w, "%d,%.6f,%d\n", s, p.Time, p.Length); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

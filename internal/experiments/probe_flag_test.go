@@ -1,0 +1,10 @@
+package experiments
+
+import "flag"
+
+// probeFlag gates the manual calibration probes in this package.
+var probeFlag bool
+
+func init() {
+	flag.BoolVar(&probeFlag, "decayprobe", false, "run manual calibration probes")
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestAllAlgorithmsConverge is the end-to-end integration test: every
+// algorithm of the paper's comparison must train the MNIST-like task to a
+// nontrivial accuracy on a small geo-distributed deployment without
+// deadlocking the simulator.
+func TestAllAlgorithmsConverge(t *testing.T) {
+	for _, name := range ComparisonAlgorithms {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			setup := Setup{
+				Task: TaskMNIST, NumServers: 4, NumClients: 20,
+				NonIIDLabels: 2, Seed: 1, TargetAcc: 0.80, Horizon: 90,
+			}
+			res, err := Run(name, setup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Updates == 0 {
+				t.Fatal("no client updates were processed")
+			}
+			if best := res.Trace.BestAcc(); best < 0.60 {
+				t.Errorf("best accuracy %.3f, want >= 0.60", best)
+			}
+			if res.BytesClientServer == 0 {
+				t.Error("no client-server traffic recorded")
+			}
+			t.Logf("%s: updates=%d vt=%.2fs best=%.1f%% reached=%v",
+				res.Algorithm, res.Updates, res.FinalTime,
+				100*res.Trace.BestAcc(), res.ReachedTarget)
+		})
+	}
+}
+
+// TestRunDeterminism: two runs with the same seed must produce identical
+// traces — the whole emulation is deterministic by construction.
+func TestRunDeterminism(t *testing.T) {
+	setup := Setup{
+		Task: TaskMNIST, NumServers: 2, NumClients: 8,
+		NonIIDLabels: 2, Seed: 42, MaxUpdates: 300, Horizon: 60,
+	}
+	a, err := Run("spyker", setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run("spyker", setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Trace) != len(b.Trace) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a.Trace), len(b.Trace))
+	}
+	for i := range a.Trace {
+		if a.Trace[i] != b.Trace[i] {
+			t.Fatalf("trace point %d differs: %+v vs %+v", i, a.Trace[i], b.Trace[i])
+		}
+	}
+	if a.BytesClientServer != b.BytesClientServer || a.BytesServerServer != b.BytesServerServer {
+		t.Error("byte accounting differs between identical runs")
+	}
+}

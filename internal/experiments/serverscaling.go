@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ServerScalingStudy completes the paper's scalability story: Sec. 5
+// promises an evaluation of scaling "with the numbers of clients and
+// servers", but only the client dimension gets a table (Tab. 5). Here the
+// client population is fixed and the server count varies; more servers
+// shorten client-server distances and split the aggregation load, at the
+// price of more server-server synchronization traffic.
+type ServerScalingStudy struct {
+	Target  float64
+	Clients int
+	Rows    []ServerScalingRow
+}
+
+// ServerScalingRow is one server-count configuration.
+type ServerScalingRow struct {
+	Servers           int
+	TimeToTarget      float64 // 0 = not reached
+	Updates           int
+	ServerServerBytes int
+}
+
+// RunServerScalingStudy runs Spyker with 1, 2, 4 and 8 servers over the
+// same fixed client population.
+func RunServerScalingStudy(scale float64, seed int64) (*ServerScalingStudy, error) {
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	clients := int(120 * scale)
+	if clients < 16 {
+		clients = 16
+	}
+	const target = 0.92
+	study := &ServerScalingStudy{Target: target, Clients: clients}
+	for _, servers := range []int{1, 2, 4, 8} {
+		setup := Setup{
+			Task:                TaskMNIST,
+			NumServers:          servers,
+			NumClients:          clients,
+			NonIIDLabels:        2,
+			SpreadClientRegions: true, // clients stay geo-distributed even with 1 server
+			Seed:                seed,
+			TargetAcc:           target,
+			Horizon:             180,
+		}
+		res, err := Run("spyker", setup)
+		if err != nil {
+			return nil, err
+		}
+		tt, ok := res.Trace.TimeToAcc(target)
+		if !ok {
+			tt = 0
+		}
+		upd, _ := res.Trace.UpdatesToAcc(target)
+		study.Rows = append(study.Rows, ServerScalingRow{
+			Servers:           servers,
+			TimeToTarget:      tt,
+			Updates:           upd,
+			ServerServerBytes: res.BytesServerServer,
+		})
+	}
+	return study, nil
+}
+
+// Render prints the study.
+func (s *ServerScalingStudy) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== server-count scaling: %d clients, target %.0f%%%% ===\n",
+		s.Clients, 100*s.Target)
+	fmt.Fprintf(&b, "%8s %12s %10s %16s\n", "servers", "t(target)", "updates", "srv-srv bytes")
+	for _, r := range s.Rows {
+		tt := "(n/r)"
+		if r.TimeToTarget > 0 {
+			tt = fmt.Sprintf("%.2fs", r.TimeToTarget)
+		}
+		fmt.Fprintf(&b, "%8d %12s %10d %15.2fMB\n",
+			r.Servers, tt, r.Updates, float64(r.ServerServerBytes)/1e6)
+	}
+	b.WriteString("\nmore servers shorten client-server paths and split the aggregation\n" +
+		"load, at the cost of more synchronization traffic.\n")
+	return b.String()
+}

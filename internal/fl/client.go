@@ -1,0 +1,78 @@
+package fl
+
+import (
+	"math/rand"
+
+	"github.com/spyker-fl/spyker/internal/geo"
+)
+
+// SimClient is the simulated client actor shared by the asynchronous
+// algorithms (Spyker, Sync-Spyker, FedAsync): whenever the server hands it
+// a model it trains locally and, after its modeled training delay, sends
+// the update back to its server. meta is echoed verbatim so the protocol
+// can attach whatever bookkeeping it needs (Spyker attaches the model age
+// the update is based on, per Alg. 1 l. 10).
+type SimClient struct {
+	Env   *Env
+	Spec  ClientSpec
+	Model Model
+	// Deliver hands the trained parameters to the server actor once the
+	// update message has arrived there.
+	Deliver func(clientID int, update []float64, meta any)
+
+	attackRNG *rand.Rand
+}
+
+// tamper replaces an honest update with the configured attack payload.
+func (c *SimClient) tamper(received, trained []float64) []float64 {
+	out := make([]float64, len(trained))
+	switch c.Spec.Byzantine {
+	case ByzantineSignFlip:
+		// Reverse and amplify the honest training direction.
+		for i := range out {
+			out[i] = received[i] - 3*(trained[i]-received[i])
+		}
+	case ByzantineNoise:
+		if c.attackRNG == nil {
+			c.attackRNG = rand.New(rand.NewSource(int64(7919 * (c.Spec.ID + 1))))
+		}
+		for i := range out {
+			out[i] = received[i] + c.attackRNG.NormFloat64()
+		}
+	default:
+		copy(out, trained)
+	}
+	return out
+}
+
+// HandleModel is invoked when a server model reaches the client. It
+// performs the real local training immediately (the simulator's wall-clock
+// time is free) and schedules the reply after the client's modeled
+// training delay. If the client is inside an absence window, training is
+// postponed to the window's end, so the eventual update is based on a
+// correspondingly stale model.
+func (c *SimClient) HandleModel(params []float64, meta any, lr float64) {
+	c.Model.SetParams(params)
+	c.Model.Train(c.Spec.Shard, c.Spec.Epochs, lr)
+	update := c.Model.Params()
+	if c.Spec.Byzantine != ByzantineNone {
+		update = c.tamper(params, update)
+	}
+	if c.Env.Codec != nil {
+		// Lossy update compression: the server receives the decoded
+		// reconstruction, not the exact parameters.
+		update = c.Env.Codec.Roundtrip(update)
+	}
+
+	now := c.Env.Sim.Now()
+	start := c.Spec.pauseUntil(now)
+	sendAt := c.Spec.pauseUntil(start + c.Spec.TrainDelay)
+
+	src := c.Env.ClientEndpoint(c.Spec.ID)
+	dst := c.Env.ServerEndpoint(c.Spec.Server)
+	c.Env.Sim.Schedule(sendAt-now, func() {
+		c.Env.Net.Send(src, dst, c.Env.ClientUpdateBytes(), geo.ClientServer, func() {
+			c.Deliver(c.Spec.ID, update, meta)
+		})
+	})
+}

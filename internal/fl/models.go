@@ -1,0 +1,157 @@
+package fl
+
+import (
+	"math/rand"
+
+	"github.com/spyker-fl/spyker/internal/data"
+	"github.com/spyker-fl/spyker/internal/nn"
+	"github.com/spyker-fl/spyker/internal/tensor"
+)
+
+// Classifier adapts an nn.Network over a classification dataset to the
+// Model interface. Training shuffles the shard each epoch and applies
+// mini-batch SGD.
+type Classifier struct {
+	net       *nn.Network
+	train     data.Classification
+	test      data.Classification
+	batchSize int
+	clip      float64
+	rng       *rand.Rand
+}
+
+var _ Model = (*Classifier)(nil)
+
+// NewClassifier wraps net for federated training over train, evaluating on
+// test. batchSize <= 0 defaults to 10.
+func NewClassifier(net *nn.Network, train, test data.Classification, batchSize int, seed int64) *Classifier {
+	if batchSize <= 0 {
+		batchSize = 10
+	}
+	return &Classifier{
+		net:       net,
+		train:     train,
+		test:      test,
+		batchSize: batchSize,
+		clip:      5,
+		rng:       rand.New(rand.NewSource(seed)),
+	}
+}
+
+// NumParams implements Model.
+func (c *Classifier) NumParams() int { return c.net.NumParams() }
+
+// Params implements Model.
+func (c *Classifier) Params() []float64 { return c.net.Params() }
+
+// SetParams implements Model.
+func (c *Classifier) SetParams(p []float64) { c.net.SetParams(p) }
+
+// Train implements Model.
+func (c *Classifier) Train(shard []int, epochs int, lr float64) {
+	if len(shard) == 0 || epochs <= 0 {
+		return
+	}
+	order := make([]int, len(shard))
+	copy(order, shard)
+	for e := 0; e < epochs; e++ {
+		c.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < len(order); start += c.batchSize {
+			end := start + c.batchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			for _, idx := range order[start:end] {
+				c.net.LossAndGrad(c.train.Input(idx), c.train.Label(idx))
+			}
+			c.net.Step(lr, end-start, c.clip)
+		}
+	}
+}
+
+// Evaluate implements Model.
+func (c *Classifier) Evaluate() (loss, acc float64) {
+	n := c.test.Len()
+	if n == 0 {
+		return 0, 0
+	}
+	correct := 0
+	for i := 0; i < n; i++ {
+		x := c.test.Input(i)
+		label := c.test.Label(i)
+		logits := c.net.Forward(x)
+		if tensor.ArgMax(logits) == label {
+			correct++
+		}
+		loss += nn.CrossEntropyFromLogits(logits, label)
+	}
+	return loss / float64(n), float64(correct) / float64(n)
+}
+
+// LanguageModel adapts an nn.CharLM over a synthetic text corpus to the
+// Model interface. A shard indexes training windows; the evaluation metric
+// pair is (average per-character cross entropy, next-character accuracy),
+// so exp(loss) is the perplexity reported in the paper's WikiText figures.
+type LanguageModel struct {
+	lm   *nn.CharLM
+	text *data.Text
+	clip float64
+	rng  *rand.Rand
+
+	testWindows [][]int
+}
+
+var _ Model = (*LanguageModel)(nil)
+
+// NewLanguageModel wraps lm for federated training over text.
+func NewLanguageModel(lm *nn.CharLM, text *data.Text, seed int64) *LanguageModel {
+	return &LanguageModel{
+		lm:          lm,
+		text:        text,
+		clip:        5,
+		rng:         rand.New(rand.NewSource(seed)),
+		testWindows: text.TestWindows(),
+	}
+}
+
+// NumParams implements Model.
+func (m *LanguageModel) NumParams() int { return m.lm.NumParams() }
+
+// Params implements Model.
+func (m *LanguageModel) Params() []float64 { return m.lm.Params() }
+
+// SetParams implements Model.
+func (m *LanguageModel) SetParams(p []float64) { m.lm.SetParams(p) }
+
+// Train implements Model.
+func (m *LanguageModel) Train(shard []int, epochs int, lr float64) {
+	if len(shard) == 0 || epochs <= 0 {
+		return
+	}
+	order := make([]int, len(shard))
+	copy(order, shard)
+	for e := 0; e < epochs; e++ {
+		m.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, wi := range order {
+			if _, preds := m.lm.SeqLossAndGrad(m.text.Window(wi)); preds > 0 {
+				m.lm.Step(lr, preds, m.clip)
+			}
+		}
+	}
+}
+
+// Evaluate implements Model.
+func (m *LanguageModel) Evaluate() (loss, acc float64) {
+	var totalLoss float64
+	var preds, correct int
+	for _, w := range m.testWindows {
+		l, p, c := m.lm.SeqLoss(w)
+		totalLoss += l
+		preds += p
+		correct += c
+	}
+	if preds == 0 {
+		return 0, 0
+	}
+	return totalLoss / float64(preds), float64(correct) / float64(preds)
+}

@@ -1,0 +1,221 @@
+// Package geo models the geo-distributed network the paper emulates:
+// AWS inter-region latencies (paper Tab. 4), 100 Mbps links, FIFO message
+// delivery, and per-category byte accounting used for the bandwidth
+// evaluation (paper Fig. 12).
+package geo
+
+import (
+	"fmt"
+
+	"github.com/spyker-fl/spyker/internal/simulation"
+)
+
+// Region is one of the four AWS regions of the paper's evaluation.
+type Region int
+
+// The four regions from paper Tab. 4.
+const (
+	HongKong Region = iota
+	Paris
+	Sydney
+	California
+	numRegions
+)
+
+// Regions lists all modeled regions in matrix order.
+var Regions = [...]Region{HongKong, Paris, Sydney, California}
+
+// String implements fmt.Stringer.
+func (r Region) String() string {
+	switch r {
+	case HongKong:
+		return "HongKong"
+	case Paris:
+		return "Paris"
+	case Sydney:
+		return "Sydney"
+	case California:
+		return "California"
+	default:
+		return fmt.Sprintf("Region(%d)", int(r))
+	}
+}
+
+// awsLatencySeconds is paper Tab. 4 converted from milliseconds to seconds.
+// Row = source, column = destination. The diagonal is the intra-region
+// latency used between a client and its nearest server.
+var awsLatencySeconds = [numRegions][numRegions]float64{
+	{0.00141, 0.1949, 0.13228, 0.15513},
+	{0.19791, 0.0009, 0.27883, 0.14225},
+	{0.13206, 0.28011, 0.00256, 0.13847},
+	{0.15496, 0.14279, 0.13857, 0.00214},
+}
+
+// AWSLatency returns the one-way latency in seconds from src to dst.
+func AWSLatency(src, dst Region) float64 {
+	return awsLatencySeconds[src][dst]
+}
+
+// MeanAWSLatency returns the average off-diagonal AWS latency; the paper's
+// "No lat." configuration replaces the matrix with a uniform latency of
+// equal average so total delay budgets match.
+func MeanAWSLatency() float64 {
+	var sum float64
+	var n int
+	for i := Region(0); i < numRegions; i++ {
+		for j := Region(0); j < numRegions; j++ {
+			if i == j {
+				continue
+			}
+			sum += awsLatencySeconds[i][j]
+			n++
+		}
+	}
+	return sum / float64(n)
+}
+
+// Traffic categorizes transfers for the bandwidth evaluation.
+type Traffic int
+
+// Traffic categories.
+const (
+	ClientServer Traffic = iota + 1 // model up/down between clients and servers
+	ServerServer                    // model broadcasts, ages, token
+)
+
+// String implements fmt.Stringer.
+func (t Traffic) String() string {
+	switch t {
+	case ClientServer:
+		return "client-server"
+	case ServerServer:
+		return "server-server"
+	default:
+		return fmt.Sprintf("Traffic(%d)", int(t))
+	}
+}
+
+// LatencyFunc maps an ordered region pair to a one-way latency in seconds.
+type LatencyFunc func(src, dst Region) float64
+
+// UniformLatency returns a LatencyFunc with constant latency l between
+// distinct regions and the AWS intra-region latency on the diagonal.
+func UniformLatency(l float64) LatencyFunc {
+	return func(src, dst Region) float64 {
+		if src == dst {
+			return awsLatencySeconds[src][dst]
+		}
+		return l
+	}
+}
+
+// ConstantLatency returns a LatencyFunc that charges the same latency on
+// every link, including intra-region ones. It models the paper's "No
+// lat." configuration (Tab. 6): "we set all network latencies to the same
+// value", isolating resource heterogeneity from geography.
+func ConstantLatency(l float64) LatencyFunc {
+	return func(Region, Region) float64 { return l }
+}
+
+// Transfer is one byte-accounting record.
+type Transfer struct {
+	Time  float64 // virtual send time, seconds
+	Bytes int
+	Kind  Traffic
+}
+
+// Network delivers messages between endpoints over the simulator with
+// region-dependent latency, a shared per-link bandwidth, FIFO ordering per
+// directed link, and byte accounting.
+type Network struct {
+	sim       *simulation.Sim
+	latency   LatencyFunc
+	bandwidth float64 // bytes per second
+
+	lastDelivery map[linkKey]float64
+	transfers    []Transfer
+	totalBytes   map[Traffic]int
+}
+
+type linkKey struct{ src, dst int }
+
+// Config parameterizes a Network.
+type Config struct {
+	Latency   LatencyFunc // defaults to AWSLatency
+	Bandwidth float64     // bytes/second; defaults to 100 Mbps
+}
+
+// NewNetwork creates a network on the given simulator.
+func NewNetwork(sim *simulation.Sim, cfg Config) *Network {
+	lat := cfg.Latency
+	if lat == nil {
+		lat = AWSLatency
+	}
+	bw := cfg.Bandwidth
+	if bw <= 0 {
+		bw = 100e6 / 8 // 100 Mbps in bytes/second
+	}
+	return &Network{
+		sim:          sim,
+		latency:      lat,
+		bandwidth:    bw,
+		lastDelivery: make(map[linkKey]float64),
+		totalBytes:   make(map[Traffic]int),
+	}
+}
+
+// Endpoint identifies a network attachment point: an integer node ID plus
+// its region.
+type Endpoint struct {
+	ID     int
+	Region Region
+}
+
+// Send schedules deliver to run after the modeled transfer of size bytes
+// from src to dst: latency + size/bandwidth, never before a previously
+// sent message on the same directed link (FIFO).
+func (n *Network) Send(src, dst Endpoint, size int, kind Traffic, deliver func()) {
+	if size < 0 {
+		panic(fmt.Sprintf("geo: negative message size %d", size))
+	}
+	n.transfers = append(n.transfers, Transfer{Time: n.sim.Now(), Bytes: size, Kind: kind})
+	n.totalBytes[kind] += size
+
+	arrive := n.sim.Now() + n.latency(src.Region, dst.Region) + float64(size)/n.bandwidth
+	key := linkKey{src.ID, dst.ID}
+	if last := n.lastDelivery[key]; arrive < last {
+		arrive = last
+	}
+	n.lastDelivery[key] = arrive
+	n.sim.ScheduleAt(arrive, deliver)
+}
+
+// TotalBytes reports the cumulative bytes sent for a traffic category.
+func (n *Network) TotalBytes(kind Traffic) int { return n.totalBytes[kind] }
+
+// AllBytes reports cumulative bytes across categories.
+func (n *Network) AllBytes() int {
+	var s int
+	for _, v := range n.totalBytes {
+		s += v
+	}
+	return s
+}
+
+// Transfers returns the transfer log (aliased; callers must not modify).
+func (n *Network) Transfers() []Transfer { return n.transfers }
+
+// BytesUntil reports cumulative bytes sent at or before virtual time t,
+// optionally filtered by kind (pass 0 for all).
+func (n *Network) BytesUntil(t float64, kind Traffic) int {
+	var s int
+	for _, tr := range n.transfers {
+		if tr.Time > t {
+			break // transfers are appended in time order
+		}
+		if kind == 0 || tr.Kind == kind {
+			s += tr.Bytes
+		}
+	}
+	return s
+}

@@ -1,0 +1,89 @@
+package live
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/spyker-fl/spyker/internal/spyker"
+	"github.com/spyker-fl/spyker/internal/transport"
+)
+
+// WriteCheckpoint persists the server's full protocol state (model, ages,
+// token, decay counters) so a restarted process can resume where it left
+// off.
+func (s *Server) WriteCheckpoint(w io.Writer) error {
+	s.mu.Lock()
+	st := s.core.Snapshot()
+	s.mu.Unlock()
+	if err := gob.NewEncoder(w).Encode(st); err != nil {
+		return fmt.Errorf("live: encode checkpoint: %w", err)
+	}
+	return nil
+}
+
+// CheckpointToFile writes the checkpoint atomically: to a temp file first,
+// then renamed into place.
+func (s *Server) CheckpointToFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := s.WriteCheckpoint(f); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadCheckpoint decodes a state previously written by WriteCheckpoint.
+func ReadCheckpoint(r io.Reader) (spyker.State, error) {
+	var st spyker.State
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return spyker.State{}, fmt.Errorf("live: decode checkpoint: %w", err)
+	}
+	return st, nil
+}
+
+// NewServerFromCheckpoint starts a live server that resumes from a
+// snapshot instead of a fresh model: same ID, same protocol position,
+// same decay counters.
+func NewServerFromCheckpoint(addr string, st spyker.State) (*Server, error) {
+	l, err := transport.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		ID:       st.Config.ID,
+		cfg:      st.Config,
+		listener: l,
+		clients:  make(map[int]*outbox),
+		peers:    make([]*outbox, st.Config.NumServers),
+		clientLR: st.Config.ClientLR,
+	}
+	core, err := spyker.RestoreServerCore(st, (*serverOutbound)(s))
+	if err != nil {
+		_ = l.Close()
+		return nil, err
+	}
+	s.core = core
+	s.updates.Store(int64(sumUpdates(st.Updates)))
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+func sumUpdates(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

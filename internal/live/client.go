@@ -1,0 +1,64 @@
+package live
+
+import (
+	"fmt"
+
+	"github.com/spyker-fl/spyker/internal/fl"
+	"github.com/spyker-fl/spyker/internal/transport"
+)
+
+// Client is one live federated client: it connects to its server, and
+// then loops — receive model, train on its local shard, send the update
+// back — until the server tells it to shut down or the connection drops.
+type Client struct {
+	ID     int
+	Model  fl.Model
+	Shard  []int
+	Epochs int
+
+	updates int
+}
+
+// Updates reports how many local trainings this client completed.
+func (c *Client) Updates() int { return c.updates }
+
+// Run connects to serverAddr and participates until shutdown. It returns
+// nil on an orderly shutdown and the transport error otherwise.
+func (c *Client) Run(serverAddr string) error {
+	conn, err := transport.Dial(serverAddr)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = conn.Close() }()
+
+	if err := conn.Send(&transport.Msg{Kind: transport.KindHello, From: c.ID, Bid: roleClient}); err != nil {
+		return err
+	}
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			// The server closing the connection during teardown is an
+			// orderly end of participation.
+			return nil
+		}
+		switch m.Kind {
+		case transport.KindShutdown:
+			return nil
+		case transport.KindModelReply:
+			c.Model.SetParams(m.Params)
+			c.Model.Train(c.Shard, c.Epochs, m.LR)
+			c.updates++
+			err := conn.Send(&transport.Msg{
+				Kind:   transport.KindClientUpdate,
+				From:   c.ID,
+				Params: c.Model.Params(),
+				Age:    m.Age,
+			})
+			if err != nil {
+				return nil
+			}
+		default:
+			return fmt.Errorf("live: client %d got unexpected %v", c.ID, m.Kind)
+		}
+	}
+}

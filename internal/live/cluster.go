@@ -1,0 +1,177 @@
+package live
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"github.com/spyker-fl/spyker/internal/fl"
+	"github.com/spyker-fl/spyker/internal/spyker"
+)
+
+// ClusterConfig describes a local live deployment: n servers on ephemeral
+// localhost ports, each serving an equal share of the clients.
+type ClusterConfig struct {
+	NumServers int
+	NumClients int
+	Hyper      fl.Hyper
+	NewModel   fl.ModelFactory
+	Shards     [][]int // one shard per client
+	Seed       int64
+
+	// PeerLatency/ClientLatency inject one-way link delays so a localhost
+	// deployment behaves like a geo-distributed one.
+	PeerLatency   time.Duration
+	ClientLatency time.Duration
+}
+
+// ClusterStats summarizes a finished live run.
+type ClusterStats struct {
+	UpdatesPerServer []int
+	ClientUpdates    []int
+	SyncsTriggered   int
+	FinalAges        []float64
+	FinalParams      [][]float64 // final model of every server
+	// ModelSpread is the maximum pairwise L2 distance between final
+	// server models, a measure of how well the asynchronous exchange kept
+	// them together.
+	ModelSpread float64
+}
+
+// TotalUpdates sums the per-server update counts.
+func (s ClusterStats) TotalUpdates() int {
+	total := 0
+	for _, u := range s.UpdatesPerServer {
+		total += u
+	}
+	return total
+}
+
+// RunCluster spins up the deployment, lets it train for the given real
+// duration, shuts everything down, and reports statistics. It is used by
+// the livetcp example and the live integration tests.
+func RunCluster(cfg ClusterConfig, duration time.Duration) (*ClusterStats, error) {
+	if cfg.NumServers < 1 || cfg.NumClients < cfg.NumServers {
+		return nil, fmt.Errorf("live: bad cluster shape %d/%d", cfg.NumServers, cfg.NumClients)
+	}
+	if len(cfg.Shards) != cfg.NumClients {
+		return nil, fmt.Errorf("live: %d shards for %d clients", len(cfg.Shards), cfg.NumClients)
+	}
+
+	initial := cfg.NewModel(cfg.Seed).Params()
+	perServer := cfg.NumClients / cfg.NumServers
+
+	servers := make([]*Server, cfg.NumServers)
+	addrs := make([]string, cfg.NumServers)
+	for i := range servers {
+		clientsHere := perServer
+		if i == cfg.NumServers-1 {
+			clientsHere = cfg.NumClients - perServer*(cfg.NumServers-1)
+		}
+		score := spyker.Config{
+			ID:           i,
+			NumServers:   cfg.NumServers,
+			NumClients:   clientsHere,
+			EtaServer:    cfg.Hyper.EtaServer,
+			Phi:          cfg.Hyper.Phi,
+			EtaA:         cfg.Hyper.EtaA,
+			HInter:       cfg.Hyper.HInter,
+			HIntra:       cfg.Hyper.HIntra,
+			ClientLR:     cfg.Hyper.ClientLR,
+			DecayEnabled: cfg.Hyper.DecayEnabled,
+			Beta:         cfg.Hyper.Beta,
+			EtaMin:       cfg.Hyper.EtaMin,
+		}
+		srv, err := NewServer(i, "127.0.0.1:0", score, initial, i == 0)
+		if err != nil {
+			closeAll(servers[:i])
+			return nil, err
+		}
+		srv.InjectLatency(cfg.PeerLatency, cfg.ClientLatency)
+		servers[i] = srv
+		addrs[i] = srv.Addr()
+	}
+	for _, srv := range servers {
+		if err := srv.ConnectPeers(addrs); err != nil {
+			closeAll(servers)
+			return nil, err
+		}
+	}
+
+	clients := make([]*Client, cfg.NumClients)
+	var wg sync.WaitGroup
+	for ci := 0; ci < cfg.NumClients; ci++ {
+		server := ci / perServer
+		if server >= cfg.NumServers {
+			server = cfg.NumServers - 1
+		}
+		c := &Client{
+			ID:     ci,
+			Model:  cfg.NewModel(cfg.Seed + int64(1000+ci)),
+			Shard:  cfg.Shards[ci],
+			Epochs: cfg.Hyper.LocalEpochs,
+		}
+		clients[ci] = c
+		addr := addrs[server]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = c.Run(addr)
+		}()
+	}
+
+	time.Sleep(duration)
+	closeAll(servers)
+	wg.Wait()
+
+	stats := &ClusterStats{
+		UpdatesPerServer: make([]int, cfg.NumServers),
+		ClientUpdates:    make([]int, cfg.NumClients),
+		FinalAges:        make([]float64, cfg.NumServers),
+	}
+	finals := make([][]float64, cfg.NumServers)
+	for i, srv := range servers {
+		stats.UpdatesPerServer[i] = srv.Updates()
+		stats.SyncsTriggered += srv.SyncsTriggered()
+		stats.FinalAges[i] = srv.Age()
+		finals[i] = srv.Params()
+	}
+	for i, c := range clients {
+		stats.ClientUpdates[i] = c.Updates()
+	}
+	for i := range finals {
+		for j := i + 1; j < len(finals); j++ {
+			if d := l2(finals[i], finals[j]); d > stats.ModelSpread {
+				stats.ModelSpread = d
+			}
+		}
+	}
+	stats.FinalParams = finals
+	return stats, nil
+}
+
+func closeAll(servers []*Server) {
+	var wg sync.WaitGroup
+	for _, s := range servers {
+		if s == nil {
+			continue
+		}
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Close()
+		}()
+	}
+	wg.Wait()
+}
+
+func l2(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,115 @@
+package live
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/spyker-fl/spyker/internal/data"
+	"github.com/spyker-fl/spyker/internal/fl"
+	"github.com/spyker-fl/spyker/internal/geo"
+	"github.com/spyker-fl/spyker/internal/metrics"
+	"github.com/spyker-fl/spyker/internal/nn"
+	"github.com/spyker-fl/spyker/internal/simulation"
+	"github.com/spyker-fl/spyker/internal/spyker"
+)
+
+// TestCrossRuntimeEquivalence runs the same Spyker deployment (same
+// dataset, same model family, same hyper-parameters) once under the
+// discrete-event simulator and once over real TCP, and checks that both
+// runtimes train the global model to comparable quality. This is the
+// strongest evidence that the DES results transfer: the protocol core is
+// literally the same code in both.
+func TestCrossRuntimeEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live TCP test skipped in -short mode")
+	}
+	const (
+		servers = 2
+		clients = 6
+	)
+	ds := data.GenerateImages(data.MNISTLike(10*clients, 150, 9))
+	factory := func(s int64) fl.Model {
+		rng := rand.New(rand.NewSource(s))
+		ch, h, w := ds.Shape()
+		conv := nn.NewConv2D(ch, h, w, 4, 3, rng)
+		pool := nn.NewMaxPool2D(4, 10, 10)
+		net := nn.NewNetwork(
+			conv, nn.NewReLU(conv.OutSize()), pool,
+			nn.NewDense(pool.OutSize(), 16, rng), nn.NewReLU(16),
+			nn.NewDense(16, ds.NumClasses(), rng),
+		)
+		return fl.NewClassifier(net, ds, ds.TestSet(), 10, s)
+	}
+	shards := data.PartitionIID(ds.Len(), clients, 9)
+	hyper := fl.DefaultHyper(clients, servers)
+	hyper.HInter = 3
+	hyper.HIntra = 30
+
+	// Live run: ~1.2 wall seconds of real training.
+	liveStats, err := RunCluster(ClusterConfig{
+		NumServers: servers,
+		NumClients: clients,
+		Hyper:      hyper,
+		NewModel:   factory,
+		Shards:     shards,
+		Seed:       9,
+	}, 1200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveAvg := make([]float64, len(liveStats.FinalParams[0]))
+	for _, p := range liveStats.FinalParams {
+		for i, v := range p {
+			liveAvg[i] += v / float64(len(liveStats.FinalParams))
+		}
+	}
+	evalLive := factory(9)
+	evalLive.SetParams(liveAvg)
+	_, liveAcc := evalLive.Evaluate()
+
+	// DES run with the same pieces, driven to a similar update count.
+	sim := simulation.New()
+	net := geo.NewNetwork(sim, geo.Config{})
+	env := &fl.Env{
+		Sim: sim, Net: net,
+		Servers: []fl.ServerSpec{
+			{ID: 0, Region: geo.HongKong},
+			{ID: 1, Region: geo.Paris},
+		},
+		NewModel:   factory,
+		ModelBytes: fl.ModelWireBytes(factory(9).NumParams()),
+		Hyper:      hyper,
+		Seed:       9,
+	}
+	for ci := 0; ci < clients; ci++ {
+		srv := ci % servers
+		env.Clients = append(env.Clients, fl.ClientSpec{
+			ID: ci, Region: env.Servers[srv].Region, Server: srv,
+			Shard: shards[ci], TrainDelay: 0.15, Epochs: 1,
+		})
+		env.Servers[srv].Clients = append(env.Servers[srv].Clients, ci)
+	}
+	rec := metrics.NewRecorder(sim, factory(9), 50)
+	rec.MaxUpdate = liveStats.TotalUpdates()
+	env.Observer = rec
+
+	alg := &spyker.Algorithm{}
+	if err := alg.Build(env); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(1e6)
+	desAcc := rec.TraceData.Final().Acc
+
+	t.Logf("live acc %.3f (after %d updates) vs DES acc %.3f (after %d updates)",
+		liveAcc, liveStats.TotalUpdates(), desAcc, rec.Updates())
+	if liveAcc < 0.7 {
+		t.Errorf("live runtime failed to train: %.3f", liveAcc)
+	}
+	if desAcc < 0.7 {
+		t.Errorf("DES runtime failed to train: %.3f", desAcc)
+	}
+	if diff := liveAcc - desAcc; diff > 0.25 || diff < -0.25 {
+		t.Errorf("runtimes diverge in quality: live %.3f vs DES %.3f", liveAcc, desAcc)
+	}
+}

@@ -1,0 +1,99 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"github.com/spyker-fl/spyker/internal/fl"
+)
+
+// TestLiveFourServerCluster runs the paper-shaped topology over real TCP:
+// 4 servers, 12 clients, token circulating the full ring. Verifies the
+// token-based synchronization works beyond the 2-server case and that
+// load spreads over all servers.
+func TestLiveFourServerCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live TCP test skipped in -short mode")
+	}
+	factory, _, ds := liveFactory(t)
+	_ = ds
+	hyper := fl.DefaultHyper(12, 4)
+	hyper.HInter = 3
+	hyper.HIntra = 25
+
+	// 12 clients need 12 shards; regenerate from the shared dataset.
+	shards := make([][]int, 12)
+	for i := range shards {
+		for j := i * 10; j < (i+1)*10; j++ {
+			shards[i] = append(shards[i], j)
+		}
+	}
+
+	stats, err := RunCluster(ClusterConfig{
+		NumServers: 4,
+		NumClients: 12,
+		Hyper:      hyper,
+		NewModel:   factory,
+		Shards:     shards,
+		Seed:       4,
+	}, 1500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range stats.UpdatesPerServer {
+		if u == 0 {
+			t.Errorf("server %d processed no updates", i)
+		}
+	}
+	if stats.SyncsTriggered == 0 {
+		t.Error("the token never triggered a synchronization on the 4-ring")
+	}
+	// The exchange must keep the four models together: spread small
+	// relative to model norm (the models are actively training, so allow
+	// slack).
+	var norm float64
+	for _, v := range stats.FinalParams[0] {
+		norm += v * v
+	}
+	if stats.ModelSpread > 2 {
+		t.Errorf("model spread %v too large for a synchronized 4-server ring", stats.ModelSpread)
+	}
+	t.Logf("4-server live: %v updates, %d syncs, spread %.3f",
+		stats.UpdatesPerServer, stats.SyncsTriggered, stats.ModelSpread)
+}
+
+// TestLiveClientCounts: every client participates and update counts are
+// spread reasonably (no client starves).
+func TestLiveClientParticipation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live TCP test skipped in -short mode")
+	}
+	factory, shards, _ := liveFactory(t)
+	hyper := fl.DefaultHyper(6, 2)
+	stats, err := RunCluster(ClusterConfig{
+		NumServers: 2,
+		NumClients: 6,
+		Hyper:      hyper,
+		NewModel:   factory,
+		Shards:     shards,
+		Seed:       5,
+	}, 800*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max := stats.ClientUpdates[0], stats.ClientUpdates[0]
+	for _, u := range stats.ClientUpdates {
+		if u < min {
+			min = u
+		}
+		if u > max {
+			max = u
+		}
+	}
+	if min == 0 {
+		t.Errorf("a client starved: %v", stats.ClientUpdates)
+	}
+	if min*20 < max {
+		t.Errorf("extreme participation skew on identical hardware: %v", stats.ClientUpdates)
+	}
+}

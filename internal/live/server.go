@@ -1,0 +1,335 @@
+// Package live runs the Spyker protocol over real TCP connections instead
+// of the discrete-event simulator: one goroutine-backed server process per
+// spyker.ServerCore, clients that train real models, and the same message
+// vocabulary (internal/transport). It demonstrates that the protocol state
+// machine in internal/spyker is transport-agnostic and genuinely
+// asynchronous — no component ever blocks waiting for another.
+package live
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/spyker-fl/spyker/internal/spyker"
+	"github.com/spyker-fl/spyker/internal/transport"
+)
+
+// Roles used in hello frames (Msg.Bid doubles as the role field there).
+const (
+	roleClient = 1
+	roleServer = 2
+)
+
+// outbox decouples protocol handlers from TCP backpressure: handlers
+// enqueue, a dedicated goroutine drains in FIFO order and owns the
+// connection's write side. Closing the outbox flushes pending frames and
+// then closes the connection, which is what unblocks the remote reader.
+type outbox struct {
+	ch    chan timedMsg
+	done  chan struct{}
+	delay time.Duration
+}
+
+// timedMsg remembers when the frame was enqueued so the injected latency
+// is pipelined: every frame leaves at enqueue-time + delay, like a real
+// long link, rather than serializing delay per frame.
+type timedMsg struct {
+	m  *transport.Msg
+	at time.Time
+}
+
+// newOutbox creates the drain goroutine for conn. A non-zero delay
+// injects a one-way link latency (FIFO order is preserved because a
+// single goroutine drains); this lets a localhost deployment emulate
+// geo-distributed links.
+func newOutbox(conn *transport.Conn, delay time.Duration) *outbox {
+	o := &outbox{ch: make(chan timedMsg, 1024), done: make(chan struct{}), delay: delay}
+	go func() {
+		defer close(o.done)
+		defer func() { _ = conn.Close() }()
+		for tm := range o.ch {
+			if o.delay > 0 {
+				time.Sleep(time.Until(tm.at.Add(o.delay)))
+			}
+			if err := conn.Send(tm.m); err != nil {
+				break // connection is gone; drop the rest
+			}
+		}
+	}()
+	return o
+}
+
+// enqueue queues a frame; it drops the frame if the outbox already
+// finished (dead connection). Callers must guarantee no enqueue happens
+// after beginClose — the Server serializes both under its mutex.
+func (o *outbox) enqueue(m *transport.Msg) {
+	select {
+	case o.ch <- timedMsg{m: m, at: time.Now()}:
+	case <-o.done:
+	}
+}
+
+// beginClose flushes asynchronously: pending frames are still sent, then
+// the connection closes. Use wait to block until that happened.
+func (o *outbox) beginClose() { close(o.ch) }
+
+// wait blocks until the drain goroutine has exited.
+func (o *outbox) wait() { <-o.done }
+
+// Server is one live Spyker server.
+type Server struct {
+	ID int
+
+	cfg      spyker.Config
+	listener *transport.Listener
+
+	mu      sync.Mutex // serializes core handlers
+	core    *spyker.ServerCore
+	clients map[int]*outbox
+	peers   []*outbox // indexed by server ID; nil for self
+
+	clientLR    float64
+	peerDelay   time.Duration // injected one-way latency on peer links
+	clientDelay time.Duration // injected one-way latency on client links
+	updates     atomic.Int64
+
+	wg      sync.WaitGroup
+	closing atomic.Bool
+}
+
+// NewServer creates a live server listening on addr (use "127.0.0.1:0"
+// for an ephemeral port). holdsToken marks the initial token holder.
+func NewServer(id int, addr string, cfg spyker.Config, initial []float64, holdsToken bool) (*Server, error) {
+	l, err := transport.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		ID:       id,
+		cfg:      cfg,
+		listener: l,
+		clients:  make(map[int]*outbox),
+		peers:    make([]*outbox, cfg.NumServers),
+		clientLR: cfg.ClientLR,
+	}
+	s.core = spyker.NewServerCore(cfg, initial, holdsToken, (*serverOutbound)(s))
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr reports the server's listen address.
+func (s *Server) Addr() string { return s.listener.Addr() }
+
+// InjectLatency sets one-way latencies slept before every outgoing frame
+// on peer and client links respectively, emulating geo-distributed links
+// on localhost. Call before ConnectPeers and before clients connect.
+func (s *Server) InjectLatency(peer, client time.Duration) {
+	s.peerDelay = peer
+	s.clientDelay = client
+}
+
+// Updates reports how many client updates this server has aggregated.
+func (s *Server) Updates() int { return int(s.updates.Load()) }
+
+// SyncsTriggered reports how many synchronizations this server initiated.
+func (s *Server) SyncsTriggered() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.core.SyncsTriggered()
+}
+
+// Params returns a snapshot of the server model.
+func (s *Server) Params() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]float64(nil), s.core.Params()...)
+}
+
+// Age returns the current model age.
+func (s *Server) Age() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.core.Age()
+}
+
+// ConnectPeers dials every other server. addrs is indexed by server ID;
+// the entry for this server is ignored. Must be called after all servers
+// are listening and before any client connects.
+func (s *Server) ConnectPeers(addrs []string) error {
+	if len(addrs) != s.cfg.NumServers {
+		return fmt.Errorf("live: %d peer addresses for %d servers", len(addrs), s.cfg.NumServers)
+	}
+	for id, addr := range addrs {
+		if id == s.ID {
+			continue
+		}
+		conn, err := transport.Dial(addr)
+		if err != nil {
+			return fmt.Errorf("live: server %d -> %d: %w", s.ID, id, err)
+		}
+		if err := conn.Send(&transport.Msg{Kind: transport.KindHello, From: s.ID, Bid: roleServer}); err != nil {
+			return err
+		}
+		s.peers[id] = newOutbox(conn, s.peerDelay)
+	}
+	return nil
+}
+
+// Close shuts the server down: clients are told to shut down, all
+// outboxes flush and close their connections, the listener stops, and
+// reader goroutines drain. When tearing down a cluster, call Close on all
+// servers concurrently — a server's inbound peer links only terminate
+// once the remote side has closed its end.
+func (s *Server) Close() {
+	if !s.closing.CompareAndSwap(false, true) {
+		return
+	}
+	s.mu.Lock()
+	// After this block no handler will enqueue again: dispatch and
+	// registerClient check s.closing under the same mutex.
+	for _, c := range s.clients {
+		c.enqueue(&transport.Msg{Kind: transport.KindShutdown, From: s.ID})
+	}
+	outboxes := make([]*outbox, 0, len(s.clients)+len(s.peers))
+	for _, c := range s.clients {
+		c.beginClose()
+		outboxes = append(outboxes, c)
+	}
+	for _, p := range s.peers {
+		if p != nil {
+			p.beginClose()
+			outboxes = append(outboxes, p)
+		}
+	}
+	s.mu.Unlock()
+
+	_ = s.listener.Close()
+	for _, o := range outboxes {
+		o.wait()
+	}
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go s.readLoop(conn)
+	}
+}
+
+// readLoop registers the connection based on its hello frame and then
+// dispatches protocol messages into the core.
+func (s *Server) readLoop(conn *transport.Conn) {
+	defer s.wg.Done()
+	hello, err := conn.Recv()
+	if err != nil || hello.Kind != transport.KindHello {
+		_ = conn.Close()
+		return
+	}
+	switch hello.Bid {
+	case roleClient:
+		s.registerClient(hello.From, conn)
+	case roleServer:
+		// Inbound peer link: read-only; our own dialed link sends.
+	default:
+		_ = conn.Close()
+		return
+	}
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		s.dispatch(m)
+	}
+}
+
+func (s *Server) registerClient(id int, conn *transport.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closing.Load() {
+		_ = conn.Close()
+		return
+	}
+	ob := newOutbox(conn, s.clientDelay)
+	s.clients[id] = ob
+	// Hand the client the current model so it can start training.
+	ob.enqueue(&transport.Msg{
+		Kind:   transport.KindModelReply,
+		From:   s.ID,
+		Params: append([]float64(nil), s.core.Params()...),
+		Age:    s.core.Age(),
+		LR:     s.clientLR,
+	})
+}
+
+func (s *Server) dispatch(m *transport.Msg) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closing.Load() {
+		return
+	}
+	switch m.Kind {
+	case transport.KindClientUpdate:
+		s.core.HandleClientUpdate(m.From, m.Params, m.Age)
+		s.updates.Add(1)
+	case transport.KindServerModel:
+		s.core.HandleServerModel(m.From, m.Params, m.Age, m.Bid)
+	case transport.KindAge:
+		s.core.HandleAge(m.From, m.Age)
+	case transport.KindToken:
+		s.core.HandleToken(spyker.Token{Bid: m.Bid, Ages: m.Ages})
+	}
+}
+
+// serverOutbound adapts Server to spyker.Outbound. All methods run with
+// s.mu held (they are invoked from core handlers), so they only enqueue.
+type serverOutbound Server
+
+var _ spyker.Outbound = (*serverOutbound)(nil)
+
+func (o *serverOutbound) ReplyClient(k int, params []float64, age, lr float64) {
+	if c, ok := o.clients[k]; ok {
+		c.enqueue(&transport.Msg{
+			Kind: transport.KindModelReply, From: o.ID,
+			Params: params, Age: age, LR: lr,
+		})
+	}
+}
+
+func (o *serverOutbound) BroadcastModel(params []float64, age float64, bid int) {
+	for id, p := range o.peers {
+		if p == nil || id == o.ID {
+			continue
+		}
+		p.enqueue(&transport.Msg{
+			Kind: transport.KindServerModel, From: o.ID,
+			Params: params, Age: age, Bid: bid,
+		})
+	}
+}
+
+func (o *serverOutbound) BroadcastAge(age float64) {
+	for id, p := range o.peers {
+		if p == nil || id == o.ID {
+			continue
+		}
+		p.enqueue(&transport.Msg{Kind: transport.KindAge, From: o.ID, Age: age})
+	}
+}
+
+func (o *serverOutbound) SendToken(t spyker.Token, next int) {
+	if p := o.peers[next]; p != nil {
+		p.enqueue(&transport.Msg{
+			Kind: transport.KindToken, From: o.ID, Bid: t.Bid, Ages: t.Ages,
+		})
+	}
+}

@@ -1,0 +1,103 @@
+package metrics
+
+import "math"
+
+// Crossover returns the first virtual time at which trace a's accuracy
+// overtakes trace b's and stays strictly ahead at that sample, comparing
+// at b's sample times by step interpolation. It reports whether a
+// crossover exists at all; a trace that starts ahead crosses at its first
+// point.
+func Crossover(a, b Trace) (float64, bool) {
+	if len(a) == 0 || len(b) == 0 {
+		return 0, false
+	}
+	for _, p := range b {
+		av, ok := ValueAt(a, p.Time)
+		if !ok {
+			continue
+		}
+		if av > p.Acc {
+			return p.Time, true
+		}
+	}
+	return 0, false
+}
+
+// ValueAt returns the trace's accuracy at time t using last-sample-holds
+// interpolation, and whether the trace has begun by t.
+func ValueAt(tr Trace, t float64) (float64, bool) {
+	var acc float64
+	found := false
+	for _, p := range tr {
+		if p.Time > t {
+			break
+		}
+		acc = p.Acc
+		found = true
+	}
+	return acc, found
+}
+
+// AUC integrates accuracy over time between the trace's first and last
+// samples (piecewise constant), normalized by the span — a scalar summary
+// of "how high and how early" a curve sits; 1.0 is a run pinned at 100%
+// accuracy throughout.
+func AUC(tr Trace) float64 {
+	if len(tr) < 2 {
+		if len(tr) == 1 {
+			return tr[0].Acc
+		}
+		return 0
+	}
+	var area float64
+	for i := 0; i+1 < len(tr); i++ {
+		area += tr[i].Acc * (tr[i+1].Time - tr[i].Time)
+	}
+	span := tr[len(tr)-1].Time - tr[0].Time
+	if span <= 0 {
+		return tr[0].Acc
+	}
+	return area / span
+}
+
+// Smooth returns an exponential-moving-average copy of the trace's
+// accuracy (alpha in (0,1]; 1 = no smoothing). Loss is smoothed the same
+// way; times and update counts are preserved.
+func Smooth(tr Trace, alpha float64) Trace {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 1
+	}
+	out := make(Trace, len(tr))
+	var acc, loss float64
+	for i, p := range tr {
+		if i == 0 {
+			acc, loss = p.Acc, p.Loss
+		} else {
+			acc = alpha*p.Acc + (1-alpha)*acc
+			loss = alpha*p.Loss + (1-alpha)*loss
+		}
+		out[i] = Point{Time: p.Time, Updates: p.Updates, Loss: loss, Acc: acc}
+	}
+	return out
+}
+
+// ConvergenceRate fits acc(t) ~ final*(1 - exp(-t/tau)) by estimating tau
+// from the time the smoothed trace first reaches 63.2% of its final
+// accuracy. Smaller tau = faster convergence. Returns 0 if the trace is
+// too short or never reaches the threshold.
+func ConvergenceRate(tr Trace) (tau float64) {
+	if len(tr) < 3 {
+		return 0
+	}
+	final := tr[len(tr)-1].Acc
+	if final <= 0 {
+		return 0
+	}
+	threshold := final * (1 - math.Exp(-1))
+	for _, p := range tr {
+		if p.Acc >= threshold {
+			return p.Time - tr[0].Time
+		}
+	}
+	return 0
+}

@@ -1,0 +1,108 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func linearTrace(times []float64, accs []float64) Trace {
+	tr := make(Trace, len(times))
+	for i := range times {
+		tr[i] = Point{Time: times[i], Acc: accs[i]}
+	}
+	return tr
+}
+
+func TestValueAt(t *testing.T) {
+	tr := linearTrace([]float64{1, 2, 3}, []float64{0.1, 0.5, 0.9})
+	if v, ok := ValueAt(tr, 0.5); ok || v != 0 {
+		t.Errorf("before start: %v,%v", v, ok)
+	}
+	if v, ok := ValueAt(tr, 2.5); !ok || v != 0.5 {
+		t.Errorf("ValueAt(2.5) = %v,%v", v, ok)
+	}
+	if v, _ := ValueAt(tr, 100); v != 0.9 {
+		t.Errorf("ValueAt(100) = %v", v)
+	}
+}
+
+func TestCrossover(t *testing.T) {
+	fast := linearTrace([]float64{1, 2, 3}, []float64{0.2, 0.6, 0.9})
+	slow := linearTrace([]float64{1, 2, 3}, []float64{0.3, 0.4, 0.5})
+	// fast is behind at t=1 (0.2 < 0.3) and ahead at t=2 (0.6 > 0.4).
+	at, ok := Crossover(fast, slow)
+	if !ok || at != 2 {
+		t.Errorf("Crossover = %v,%v, want 2,true", at, ok)
+	}
+	// slow never overtakes fast after t=2... it is ahead at t=1.
+	at, ok = Crossover(slow, fast)
+	if !ok || at != 1 {
+		t.Errorf("reverse Crossover = %v,%v, want 1,true", at, ok)
+	}
+	if _, ok := Crossover(nil, fast); ok {
+		t.Error("empty trace crossed")
+	}
+	never := linearTrace([]float64{1, 2, 3}, []float64{0, 0, 0})
+	if _, ok := Crossover(never, fast); ok {
+		t.Error("flat-zero trace should never overtake")
+	}
+}
+
+func TestAUC(t *testing.T) {
+	// Accuracy 0.5 for 2s then 1.0 for 2s: area = 0.5*2 + 1*2 = 3 over 4s.
+	tr := linearTrace([]float64{0, 2, 4}, []float64{0.5, 1.0, 1.0})
+	if got := AUC(tr); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("AUC = %v, want 0.75", got)
+	}
+	if AUC(nil) != 0 {
+		t.Error("empty AUC != 0")
+	}
+	if AUC(Trace{{Acc: 0.4}}) != 0.4 {
+		t.Error("single-point AUC wrong")
+	}
+	perfect := linearTrace([]float64{0, 1}, []float64{1, 1})
+	if AUC(perfect) != 1 {
+		t.Error("pinned-at-1 AUC != 1")
+	}
+}
+
+func TestSmooth(t *testing.T) {
+	tr := linearTrace([]float64{0, 1, 2}, []float64{0, 1, 0})
+	sm := Smooth(tr, 0.5)
+	if sm[0].Acc != 0 {
+		t.Error("first point must be unchanged")
+	}
+	if math.Abs(sm[1].Acc-0.5) > 1e-12 {
+		t.Errorf("smoothed[1] = %v", sm[1].Acc)
+	}
+	if math.Abs(sm[2].Acc-0.25) > 1e-12 {
+		t.Errorf("smoothed[2] = %v", sm[2].Acc)
+	}
+	// alpha=1 (or invalid) leaves the trace unchanged.
+	same := Smooth(tr, 0)
+	for i := range tr {
+		if same[i] != tr[i] {
+			t.Error("alpha fallback changed the trace")
+		}
+	}
+	// Times preserved.
+	if sm[2].Time != 2 {
+		t.Error("time not preserved")
+	}
+}
+
+func TestConvergenceRate(t *testing.T) {
+	// Reaches 63.2% of its final 1.0 at t=3.
+	tr := linearTrace([]float64{0, 1, 2, 3, 4}, []float64{0, 0.2, 0.4, 0.7, 1.0})
+	tau := ConvergenceRate(tr)
+	if tau != 3 {
+		t.Errorf("tau = %v, want 3", tau)
+	}
+	fast := linearTrace([]float64{0, 1, 2, 3, 4}, []float64{0, 0.8, 0.9, 0.95, 1.0})
+	if fastTau := ConvergenceRate(fast); fastTau >= tau {
+		t.Errorf("faster curve has tau %v >= %v", fastTau, tau)
+	}
+	if ConvergenceRate(nil) != 0 || ConvergenceRate(Trace{{Acc: 1}}) != 0 {
+		t.Error("degenerate traces should return 0")
+	}
+}

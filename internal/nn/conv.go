@@ -1,0 +1,196 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/spyker-fl/spyker/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution with stride 1 and no padding ("valid"
+// convolution). Inputs and outputs are flat CHW-ordered vectors: channel
+// major, then rows, then columns.
+type Conv2D struct {
+	inC, inH, inW    int
+	outC, outH, outW int
+	k                int
+
+	// w holds outC filters, each inC*k*k long, stored contiguously.
+	w  []float64
+	b  []float64
+	gw []float64
+	gb []float64
+
+	lastX []float64
+	outV  []float64
+	dx    []float64
+}
+
+// NewConv2D creates a convolution layer mapping (inC,inH,inW) to
+// (outC,inH-k+1,inW-k+1) feature maps with k x k kernels.
+func NewConv2D(inC, inH, inW, outC, k int, rng *rand.Rand) *Conv2D {
+	if k > inH || k > inW {
+		panic(fmt.Sprintf("nn: kernel %d larger than input %dx%d", k, inH, inW))
+	}
+	outH, outW := inH-k+1, inW-k+1
+	c := &Conv2D{
+		inC: inC, inH: inH, inW: inW,
+		outC: outC, outH: outH, outW: outW,
+		k:  k,
+		w:  make([]float64, outC*inC*k*k),
+		b:  make([]float64, outC),
+		gw: make([]float64, outC*inC*k*k),
+		gb: make([]float64, outC),
+
+		lastX: make([]float64, inC*inH*inW),
+		outV:  make([]float64, outC*outH*outW),
+		dx:    make([]float64, inC*inH*inW),
+	}
+	fanIn := inC * k * k
+	fanOut := outC * k * k
+	m := tensor.MatrixFrom(1, len(c.w), c.w)
+	m.XavierInit(rng, fanIn, fanOut)
+	return c
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x []float64) []float64 {
+	copy(c.lastX, x)
+	k := c.k
+	for oc := 0; oc < c.outC; oc++ {
+		bias := c.b[oc]
+		wBase := oc * c.inC * k * k
+		for oy := 0; oy < c.outH; oy++ {
+			for ox := 0; ox < c.outW; ox++ {
+				s := bias
+				for ic := 0; ic < c.inC; ic++ {
+					xBase := ic*c.inH*c.inW + oy*c.inW + ox
+					wOff := wBase + ic*k*k
+					for ky := 0; ky < k; ky++ {
+						xRow := x[xBase+ky*c.inW : xBase+ky*c.inW+k]
+						wRow := c.w[wOff+ky*k : wOff+ky*k+k]
+						for kx := 0; kx < k; kx++ {
+							s += xRow[kx] * wRow[kx]
+						}
+					}
+				}
+				c.outV[oc*c.outH*c.outW+oy*c.outW+ox] = s
+			}
+		}
+	}
+	return c.outV
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(dy []float64) []float64 {
+	k := c.k
+	tensor.Zero(c.dx)
+	for oc := 0; oc < c.outC; oc++ {
+		wBase := oc * c.inC * k * k
+		for oy := 0; oy < c.outH; oy++ {
+			for ox := 0; ox < c.outW; ox++ {
+				g := dy[oc*c.outH*c.outW+oy*c.outW+ox]
+				if g == 0 {
+					continue
+				}
+				c.gb[oc] += g
+				for ic := 0; ic < c.inC; ic++ {
+					xBase := ic*c.inH*c.inW + oy*c.inW + ox
+					wOff := wBase + ic*k*k
+					for ky := 0; ky < k; ky++ {
+						xi := xBase + ky*c.inW
+						wi := wOff + ky*k
+						for kx := 0; kx < k; kx++ {
+							c.gw[wi+kx] += g * c.lastX[xi+kx]
+							c.dx[xi+kx] += g * c.w[wi+kx]
+						}
+					}
+				}
+			}
+		}
+	}
+	return c.dx
+}
+
+// ParamBlocks implements Layer.
+func (c *Conv2D) ParamBlocks() [][]float64 { return [][]float64{c.w, c.b} }
+
+// GradBlocks implements Layer.
+func (c *Conv2D) GradBlocks() [][]float64 { return [][]float64{c.gw, c.gb} }
+
+// OutSize implements Layer.
+func (c *Conv2D) OutSize() int { return c.outC * c.outH * c.outW }
+
+// OutShape reports the (channels, height, width) of the layer output, which
+// callers need to stack further spatial layers.
+func (c *Conv2D) OutShape() (ch, h, w int) { return c.outC, c.outH, c.outW }
+
+// MaxPool2D is a non-overlapping 2x2 max-pooling layer over CHW input.
+// Input height and width must be even.
+type MaxPool2D struct {
+	ch, inH, inW int
+	outH, outW   int
+
+	argmax []int
+	outV   []float64
+	dx     []float64
+}
+
+// NewMaxPool2D creates a 2x2 max pool over (ch,inH,inW) feature maps.
+func NewMaxPool2D(ch, inH, inW int) *MaxPool2D {
+	if inH%2 != 0 || inW%2 != 0 {
+		panic(fmt.Sprintf("nn: MaxPool2D input %dx%d not even", inH, inW))
+	}
+	outH, outW := inH/2, inW/2
+	n := ch * outH * outW
+	return &MaxPool2D{
+		ch: ch, inH: inH, inW: inW, outH: outH, outW: outW,
+		argmax: make([]int, n),
+		outV:   make([]float64, n),
+		dx:     make([]float64, ch*inH*inW),
+	}
+}
+
+// Forward implements Layer.
+func (p *MaxPool2D) Forward(x []float64) []float64 {
+	for c := 0; c < p.ch; c++ {
+		for oy := 0; oy < p.outH; oy++ {
+			for ox := 0; ox < p.outW; ox++ {
+				base := c*p.inH*p.inW + 2*oy*p.inW + 2*ox
+				bestIdx := base
+				best := x[base]
+				for _, off := range [3]int{1, p.inW, p.inW + 1} {
+					if v := x[base+off]; v > best {
+						best = v
+						bestIdx = base + off
+					}
+				}
+				o := c*p.outH*p.outW + oy*p.outW + ox
+				p.outV[o] = best
+				p.argmax[o] = bestIdx
+			}
+		}
+	}
+	return p.outV
+}
+
+// Backward implements Layer.
+func (p *MaxPool2D) Backward(dy []float64) []float64 {
+	tensor.Zero(p.dx)
+	for o, idx := range p.argmax {
+		p.dx[idx] += dy[o]
+	}
+	return p.dx
+}
+
+// ParamBlocks implements Layer.
+func (p *MaxPool2D) ParamBlocks() [][]float64 { return nil }
+
+// GradBlocks implements Layer.
+func (p *MaxPool2D) GradBlocks() [][]float64 { return nil }
+
+// OutSize implements Layer.
+func (p *MaxPool2D) OutSize() int { return p.ch * p.outH * p.outW }
+
+// OutShape reports the (channels, height, width) of the pooled output.
+func (p *MaxPool2D) OutShape() (ch, h, w int) { return p.ch, p.outH, p.outW }

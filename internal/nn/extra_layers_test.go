@@ -1,0 +1,158 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDropoutInference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewDropout(4, 0.5, rng)
+	d.SetTraining(false)
+	x := []float64{1, 2, 3, 4}
+	out := d.Forward(x)
+	for i := range x {
+		if out[i] != x[i] {
+			t.Fatalf("inference dropout is not identity: %v", out)
+		}
+	}
+	dx := d.Backward([]float64{1, 1, 1, 1})
+	for _, v := range dx {
+		if v != 1 {
+			t.Fatalf("inference backward is not identity: %v", dx)
+		}
+	}
+}
+
+func TestDropoutTrainingMasksAndScales(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n = 10000
+	d := NewDropout(n, 0.3, rng)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1
+	}
+	out := d.Forward(x)
+	zeros := 0
+	var sum float64
+	for _, v := range out {
+		if v == 0 {
+			zeros++
+		}
+		sum += v
+	}
+	frac := float64(zeros) / n
+	if frac < 0.25 || frac > 0.35 {
+		t.Errorf("dropped fraction %v, want ~0.3", frac)
+	}
+	// Inverted dropout keeps the expected activation sum.
+	if sum < 0.9*n || sum > 1.1*n {
+		t.Errorf("activation mass %v, want ~%v", sum, n)
+	}
+	// Backward must route gradients only through survivors.
+	dy := make([]float64, n)
+	for i := range dy {
+		dy[i] = 1
+	}
+	dx := d.Backward(dy)
+	for i, v := range out {
+		if (v == 0) != (dx[i] == 0) {
+			t.Fatal("gradient mask does not match forward mask")
+		}
+	}
+}
+
+func TestDropoutInvalidRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewDropout(4, 1.0, rand.New(rand.NewSource(1)))
+}
+
+func TestAvgPoolForwardBackward(t *testing.T) {
+	p := NewAvgPool2D(1, 2, 4)
+	x := []float64{
+		1, 3, 5, 7,
+		1, 3, 5, 7,
+	}
+	out := p.Forward(x)
+	if out[0] != 2 || out[1] != 6 {
+		t.Fatalf("avg pool forward = %v", out)
+	}
+	dx := p.Backward([]float64{4, 8})
+	// Each input cell of the first window receives 4/4=1, second 8/4=2.
+	want := []float64{1, 1, 2, 2, 1, 1, 2, 2}
+	for i := range want {
+		if dx[i] != want[i] {
+			t.Fatalf("avg pool backward = %v", dx)
+		}
+	}
+}
+
+func TestAvgPoolGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pool := NewAvgPool2D(2, 6, 6)
+	net := NewNetwork(
+		NewConv2D(1, 8, 8, 2, 3, rng), // 2 x 6 x 6
+		NewTanh(2*6*6),
+		pool,
+		NewDense(pool.OutSize(), 3, rng),
+	)
+	x := randVec(rng, 64)
+	checkNetworkGradients(t, net, x, 1, 1e-4)
+}
+
+func TestAvgPoolOddPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewAvgPool2D(1, 3, 4)
+}
+
+func TestSigmoidGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	net := NewNetwork(
+		NewDense(4, 6, rng),
+		NewSigmoid(6),
+		NewDense(6, 3, rng),
+	)
+	checkNetworkGradients(t, net, randVec(rng, 4), 2, 1e-4)
+}
+
+func TestSigmoidRange(t *testing.T) {
+	s := NewSigmoid(3)
+	out := s.Forward([]float64{-100, 0, 100})
+	if out[0] > 1e-10 || math.Abs(out[1]-0.5) > 1e-12 || out[2] < 1-1e-10 {
+		t.Errorf("sigmoid = %v", out)
+	}
+}
+
+func TestDropoutInNetworkTrains(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	drop := NewDropout(16, 0.2, rand.New(rand.NewSource(6)))
+	net := NewNetwork(
+		NewDense(2, 16, rng),
+		NewReLU(16),
+		drop,
+		NewDense(16, 2, rng),
+	)
+	xs := [][]float64{{1, 1}, {-1, -1}}
+	ys := []int{0, 1}
+	for e := 0; e < 400; e++ {
+		for i := range xs {
+			net.LossAndGrad(xs[i], ys[i])
+		}
+		net.Step(0.1, len(xs), 5)
+	}
+	drop.SetTraining(false)
+	for i := range xs {
+		if net.Predict(xs[i]) != ys[i] {
+			t.Errorf("example %d misclassified with dropout net", i)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Package nn is a small, dependency-free neural-network library built for
+// the federated-learning experiments in this repository. It provides dense,
+// convolutional, pooling, embedding and LSTM layers with explicit
+// backpropagation, plain SGD, and — crucially for federated learning — the
+// ability to flatten any model into a single []float64 parameter vector and
+// load one back.
+//
+// The library trades raw performance for clarity: all kernels are naive
+// loops, which is more than enough for the laptop-scale emulations used in
+// the paper's evaluation.
+package nn
+
+import (
+	"math/rand"
+
+	"github.com/spyker-fl/spyker/internal/tensor"
+)
+
+// Layer is one differentiable stage of a feed-forward network. Forward and
+// Backward are stateful: Backward must be called with the gradient of the
+// loss with respect to the output of the immediately preceding Forward
+// call, and it accumulates parameter gradients internally until Step or
+// ZeroGrads is invoked by the owning network.
+type Layer interface {
+	// Forward computes the layer output for input x. The returned slice
+	// is owned by the layer and is overwritten by the next call.
+	Forward(x []float64) []float64
+	// Backward takes dL/d(output) and returns dL/d(input), accumulating
+	// parameter gradients as a side effect.
+	Backward(dy []float64) []float64
+	// ParamBlocks returns the layer's parameter storage blocks (possibly
+	// empty). The slices alias live storage.
+	ParamBlocks() [][]float64
+	// GradBlocks returns gradient storage matching ParamBlocks.
+	GradBlocks() [][]float64
+	// OutSize reports the length of the Forward output vector.
+	OutSize() int
+}
+
+// Dense is a fully connected layer computing y = W*x + b.
+type Dense struct {
+	in, out int
+	w       *tensor.Matrix
+	b       []float64
+	gw      *tensor.Matrix
+	gb      []float64
+
+	lastX []float64
+	outV  []float64
+	dx    []float64
+}
+
+// NewDense creates a Dense layer with Xavier-initialized weights.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	d := &Dense{
+		in:  in,
+		out: out,
+		w:   tensor.NewMatrix(out, in),
+		b:   make([]float64, out),
+		gw:  tensor.NewMatrix(out, in),
+		gb:  make([]float64, out),
+
+		lastX: make([]float64, in),
+		outV:  make([]float64, out),
+		dx:    make([]float64, in),
+	}
+	d.w.XavierInit(rng, in, out)
+	return d
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x []float64) []float64 {
+	copy(d.lastX, x)
+	d.w.MatVec(d.outV, x)
+	tensor.AddInPlace(d.outV, d.b)
+	return d.outV
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(dy []float64) []float64 {
+	d.gw.AddOuter(1, dy, d.lastX)
+	tensor.AddInPlace(d.gb, dy)
+	d.w.MatVecT(d.dx, dy)
+	return d.dx
+}
+
+// ParamBlocks implements Layer.
+func (d *Dense) ParamBlocks() [][]float64 { return [][]float64{d.w.Data, d.b} }
+
+// GradBlocks implements Layer.
+func (d *Dense) GradBlocks() [][]float64 { return [][]float64{d.gw.Data, d.gb} }
+
+// OutSize implements Layer.
+func (d *Dense) OutSize() int { return d.out }
+
+// ReLU is the rectified-linear activation.
+type ReLU struct {
+	size int
+	outV []float64
+	dx   []float64
+}
+
+// NewReLU creates a ReLU over vectors of the given size.
+func NewReLU(size int) *ReLU {
+	return &ReLU{size: size, outV: make([]float64, size), dx: make([]float64, size)}
+}
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x []float64) []float64 {
+	for i, v := range x {
+		if v > 0 {
+			r.outV[i] = v
+		} else {
+			r.outV[i] = 0
+		}
+	}
+	return r.outV
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(dy []float64) []float64 {
+	for i, v := range r.outV {
+		if v > 0 {
+			r.dx[i] = dy[i]
+		} else {
+			r.dx[i] = 0
+		}
+	}
+	return r.dx
+}
+
+// ParamBlocks implements Layer.
+func (r *ReLU) ParamBlocks() [][]float64 { return nil }
+
+// GradBlocks implements Layer.
+func (r *ReLU) GradBlocks() [][]float64 { return nil }
+
+// OutSize implements Layer.
+func (r *ReLU) OutSize() int { return r.size }
+
+// Tanh is the hyperbolic-tangent activation.
+type Tanh struct {
+	size int
+	outV []float64
+	dx   []float64
+}
+
+// NewTanh creates a Tanh over vectors of the given size.
+func NewTanh(size int) *Tanh {
+	return &Tanh{size: size, outV: make([]float64, size), dx: make([]float64, size)}
+}
+
+// Forward implements Layer.
+func (t *Tanh) Forward(x []float64) []float64 {
+	for i, v := range x {
+		t.outV[i] = tanh(v)
+	}
+	return t.outV
+}
+
+// Backward implements Layer.
+func (t *Tanh) Backward(dy []float64) []float64 {
+	for i, y := range t.outV {
+		t.dx[i] = dy[i] * (1 - y*y)
+	}
+	return t.dx
+}
+
+// ParamBlocks implements Layer.
+func (t *Tanh) ParamBlocks() [][]float64 { return nil }
+
+// GradBlocks implements Layer.
+func (t *Tanh) GradBlocks() [][]float64 { return nil }
+
+// OutSize implements Layer.
+func (t *Tanh) OutSize() int { return t.size }

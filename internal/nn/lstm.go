@@ -1,0 +1,281 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/spyker-fl/spyker/internal/tensor"
+)
+
+// CharLM is a character-level language model: an embedding layer, a single
+// LSTM layer, and a dense projection back to the vocabulary, matching the
+// WikiText-2 model described in the paper (embedding -> LSTM -> fully
+// connected over the character vocabulary). It trains with truncated
+// backpropagation through time over fixed-length windows. For a deeper
+// recurrent stack, see StackedCharLM.
+type CharLM struct {
+	vocab, embDim, hidden int
+
+	emb *tensor.Matrix // vocab x embDim
+	wx  *tensor.Matrix // 4H x embDim, gate order i,f,g,o
+	wh  *tensor.Matrix // 4H x H
+	bg  []float64      // 4H
+	wy  *tensor.Matrix // vocab x H
+	by  []float64
+
+	gEmb *tensor.Matrix
+	gWx  *tensor.Matrix
+	gWh  *tensor.Matrix
+	gBg  []float64
+	gWy  *tensor.Matrix
+	gBy  []float64
+
+	// step caches, grown to the longest sequence seen
+	steps []lstmStep
+}
+
+type lstmStep struct {
+	x          []float64 // embedding input
+	i, f, g, o []float64
+	c, tc, h   []float64 // cell, tanh(cell), hidden
+	probs      []float64
+}
+
+// NewCharLM builds a character LM for the given vocabulary size, embedding
+// dimension and LSTM hidden size.
+func NewCharLM(vocab, embDim, hidden int, rng *rand.Rand) *CharLM {
+	m := &CharLM{
+		vocab: vocab, embDim: embDim, hidden: hidden,
+		emb: tensor.NewMatrix(vocab, embDim),
+		wx:  tensor.NewMatrix(4*hidden, embDim),
+		wh:  tensor.NewMatrix(4*hidden, hidden),
+		bg:  make([]float64, 4*hidden),
+		wy:  tensor.NewMatrix(vocab, hidden),
+		by:  make([]float64, vocab),
+
+		gEmb: tensor.NewMatrix(vocab, embDim),
+		gWx:  tensor.NewMatrix(4*hidden, embDim),
+		gWh:  tensor.NewMatrix(4*hidden, hidden),
+		gBg:  make([]float64, 4*hidden),
+		gWy:  tensor.NewMatrix(vocab, hidden),
+		gBy:  make([]float64, vocab),
+	}
+	m.emb.XavierInit(rng, vocab, embDim)
+	m.wx.XavierInit(rng, embDim, hidden)
+	m.wh.XavierInit(rng, hidden, hidden)
+	m.wy.XavierInit(rng, hidden, vocab)
+	// Standard trick: bias the forget gate open so early training does not
+	// immediately wipe the cell state.
+	for i := m.hidden; i < 2*m.hidden; i++ {
+		m.bg[i] = 1
+	}
+	return m
+}
+
+func (m *CharLM) paramBlocks() [][]float64 {
+	return [][]float64{m.emb.Data, m.wx.Data, m.wh.Data, m.bg, m.wy.Data, m.by}
+}
+
+func (m *CharLM) gradBlocks() [][]float64 {
+	return [][]float64{m.gEmb.Data, m.gWx.Data, m.gWh.Data, m.gBg, m.gWy.Data, m.gBy}
+}
+
+// NumParams returns the total trainable parameter count.
+func (m *CharLM) NumParams() int { return flattenLen(m.paramBlocks()) }
+
+// Params returns a copy of all parameters as one flat vector.
+func (m *CharLM) Params() []float64 { return flattenCopy(m.paramBlocks()) }
+
+// SetParams loads a flat parameter vector produced by Params.
+func (m *CharLM) SetParams(p []float64) { unflattenInto(m.paramBlocks(), p) }
+
+// Grads returns a copy of the accumulated gradients flattened the same way
+// as Params; primarily for gradient-checking tests.
+func (m *CharLM) Grads() []float64 { return flattenCopy(m.gradBlocks()) }
+
+func (m *CharLM) ensureSteps(n int) {
+	for len(m.steps) < n {
+		h := m.hidden
+		m.steps = append(m.steps, lstmStep{
+			x: make([]float64, m.embDim),
+			i: make([]float64, h), f: make([]float64, h),
+			g: make([]float64, h), o: make([]float64, h),
+			c: make([]float64, h), tc: make([]float64, h), h: make([]float64, h),
+			probs: make([]float64, m.vocab),
+		})
+	}
+}
+
+// SeqLossAndGrad runs truncated BPTT over seq (a window of character ids),
+// predicting seq[t+1] from seq[0..t], accumulates gradients, and returns
+// the total cross-entropy loss and the number of predictions made.
+// Sequences shorter than 2 characters contribute nothing.
+func (m *CharLM) SeqLossAndGrad(seq []int) (loss float64, preds int) {
+	T := len(seq) - 1
+	if T < 1 {
+		return 0, 0
+	}
+	m.ensureSteps(T)
+	h := m.hidden
+
+	hPrev := make([]float64, h)
+	cPrev := make([]float64, h)
+	z := make([]float64, 4*h)
+	zh := make([]float64, 4*h)
+	logits := make([]float64, m.vocab)
+
+	// Forward.
+	for t := 0; t < T; t++ {
+		st := &m.steps[t]
+		copy(st.x, m.emb.Row(seq[t]))
+		m.wx.MatVec(z, st.x)
+		m.wh.MatVec(zh, hPrev)
+		for j := range z {
+			z[j] += zh[j] + m.bg[j]
+		}
+		for j := 0; j < h; j++ {
+			st.i[j] = sigmoid(z[j])
+			st.f[j] = sigmoid(z[h+j])
+			st.g[j] = tanh(z[2*h+j])
+			st.o[j] = sigmoid(z[3*h+j])
+			st.c[j] = st.f[j]*cPrev[j] + st.i[j]*st.g[j]
+			st.tc[j] = tanh(st.c[j])
+			st.h[j] = st.o[j] * st.tc[j]
+		}
+		m.wy.MatVec(logits, st.h)
+		tensor.AddInPlace(logits, m.by)
+		tensor.SoftmaxTo(st.probs, logits)
+		loss += -math.Log(math.Max(st.probs[seq[t+1]], 1e-12))
+		hPrev, cPrev = st.h, st.c
+	}
+
+	// Backward through time.
+	dh := make([]float64, h)
+	dc := make([]float64, h)
+	dz := make([]float64, 4*h)
+	dhRec := make([]float64, h)
+	dLogits := make([]float64, m.vocab)
+	dx := make([]float64, m.embDim)
+	for t := T - 1; t >= 0; t-- {
+		st := &m.steps[t]
+		copy(dLogits, st.probs)
+		dLogits[seq[t+1]] -= 1
+		m.gWy.AddOuter(1, dLogits, st.h)
+		tensor.AddInPlace(m.gBy, dLogits)
+		m.wy.MatVecT(dhRec, dLogits)
+		for j := 0; j < h; j++ {
+			dh[j] += dhRec[j]
+		}
+
+		var hp, cp []float64
+		if t > 0 {
+			hp, cp = m.steps[t-1].h, m.steps[t-1].c
+		} else {
+			hp, cp = make([]float64, h), make([]float64, h)
+		}
+		for j := 0; j < h; j++ {
+			dcj := dc[j] + dh[j]*st.o[j]*(1-st.tc[j]*st.tc[j])
+			doj := dh[j] * st.tc[j]
+			dij := dcj * st.g[j]
+			dfj := dcj * cp[j]
+			dgj := dcj * st.i[j]
+			dz[j] = dij * st.i[j] * (1 - st.i[j])
+			dz[h+j] = dfj * st.f[j] * (1 - st.f[j])
+			dz[2*h+j] = dgj * (1 - st.g[j]*st.g[j])
+			dz[3*h+j] = doj * st.o[j] * (1 - st.o[j])
+			dc[j] = dcj * st.f[j]
+		}
+		m.gWx.AddOuter(1, dz, st.x)
+		m.gWh.AddOuter(1, dz, hp)
+		tensor.AddInPlace(m.gBg, dz)
+
+		m.wh.MatVecT(dh, dz) // dh for t-1
+		m.wx.MatVecT(dx, dz)
+		tensor.AddInPlace(m.gEmb.Row(seq[t]), dx)
+	}
+	return loss, T
+}
+
+// Step applies accumulated gradients with SGD, scaling by 1/count and
+// clipping each coordinate to [-clip, clip] (clip <= 0 disables clipping),
+// then zeroes the gradients.
+func (m *CharLM) Step(lr float64, count int, clip float64) {
+	if count <= 0 {
+		panic("nn: CharLM.Step with non-positive count")
+	}
+	scale := 1 / float64(count)
+	params := m.paramBlocks()
+	grads := m.gradBlocks()
+	for bi, g := range grads {
+		p := params[bi]
+		for i := range g {
+			gv := g[i] * scale
+			if clip > 0 {
+				if gv > clip {
+					gv = clip
+				} else if gv < -clip {
+					gv = -clip
+				}
+			}
+			p[i] -= lr * gv
+			g[i] = 0
+		}
+	}
+}
+
+// SeqLoss evaluates the model on seq without touching gradients, returning
+// the summed cross-entropy, the number of predictions, and the number of
+// correct next-character argmax predictions.
+func (m *CharLM) SeqLoss(seq []int) (loss float64, preds, correct int) {
+	T := len(seq) - 1
+	if T < 1 {
+		return 0, 0, 0
+	}
+	h := m.hidden
+	hPrev := make([]float64, h)
+	cPrev := make([]float64, h)
+	hCur := make([]float64, h)
+	cCur := make([]float64, h)
+	z := make([]float64, 4*h)
+	zh := make([]float64, 4*h)
+	logits := make([]float64, m.vocab)
+	probs := make([]float64, m.vocab)
+	x := make([]float64, m.embDim)
+
+	for t := 0; t < T; t++ {
+		copy(x, m.emb.Row(seq[t]))
+		m.wx.MatVec(z, x)
+		m.wh.MatVec(zh, hPrev)
+		for j := range z {
+			z[j] += zh[j] + m.bg[j]
+		}
+		for j := 0; j < h; j++ {
+			ig := sigmoid(z[j])
+			fg := sigmoid(z[h+j])
+			gg := tanh(z[2*h+j])
+			og := sigmoid(z[3*h+j])
+			cCur[j] = fg*cPrev[j] + ig*gg
+			hCur[j] = og * tanh(cCur[j])
+		}
+		m.wy.MatVec(logits, hCur)
+		tensor.AddInPlace(logits, m.by)
+		tensor.SoftmaxTo(probs, logits)
+		loss += -math.Log(math.Max(probs[seq[t+1]], 1e-12))
+		if tensor.ArgMax(probs) == seq[t+1] {
+			correct++
+		}
+		hPrev, hCur = hCur, hPrev
+		cPrev, cCur = cCur, cPrev
+	}
+	return loss, T, correct
+}
+
+// Vocab returns the vocabulary size the model was built for.
+func (m *CharLM) Vocab() int { return m.vocab }
+
+// String describes the architecture.
+func (m *CharLM) String() string {
+	return fmt.Sprintf("CharLM(vocab=%d, emb=%d, hidden=%d, params=%d)",
+		m.vocab, m.embDim, m.hidden, m.NumParams())
+}

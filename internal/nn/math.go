@@ -1,0 +1,10 @@
+package nn
+
+import "math"
+
+// tanh is a thin wrapper kept so hot loops read naturally; the compiler
+// inlines math.Tanh anyway.
+func tanh(x float64) float64 { return math.Tanh(x) }
+
+// sigmoid is the logistic function 1/(1+e^-x).
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }

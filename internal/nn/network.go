@@ -1,0 +1,155 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/spyker-fl/spyker/internal/tensor"
+)
+
+// Network is a feed-forward classifier: a stack of layers followed by an
+// implicit softmax-cross-entropy head. It owns the flattening of all layer
+// parameters into a single vector, which is the representation federated
+// aggregation operates on.
+type Network struct {
+	layers  []Layer
+	nParams int
+	probs   []float64
+	dLogits []float64
+}
+
+// NewNetwork assembles a network from layers. The final layer's output is
+// interpreted as class logits.
+func NewNetwork(layers ...Layer) *Network {
+	if len(layers) == 0 {
+		panic("nn: NewNetwork needs at least one layer")
+	}
+	n := &Network{layers: layers}
+	for _, l := range layers {
+		for _, blk := range l.ParamBlocks() {
+			n.nParams += len(blk)
+		}
+	}
+	out := layers[len(layers)-1].OutSize()
+	n.probs = make([]float64, out)
+	n.dLogits = make([]float64, out)
+	return n
+}
+
+// NumParams returns the total number of trainable parameters.
+func (n *Network) NumParams() int { return n.nParams }
+
+// Params returns a copy of all parameters flattened into one vector, layer
+// by layer, block by block.
+func (n *Network) Params() []float64 {
+	out := make([]float64, n.nParams)
+	i := 0
+	for _, l := range n.layers {
+		for _, blk := range l.ParamBlocks() {
+			i += copy(out[i:], blk)
+		}
+	}
+	return out
+}
+
+// SetParams loads a flat parameter vector previously produced by Params
+// (of a network with identical architecture).
+func (n *Network) SetParams(p []float64) {
+	if len(p) != n.nParams {
+		panic(fmt.Sprintf("nn: SetParams length %d != %d", len(p), n.nParams))
+	}
+	i := 0
+	for _, l := range n.layers {
+		for _, blk := range l.ParamBlocks() {
+			i += copy(blk, p[i:i+len(blk)])
+		}
+	}
+}
+
+// Grads returns a copy of the accumulated gradients flattened the same
+// way as Params; primarily for gradient-checking tests.
+func (n *Network) Grads() []float64 {
+	out := make([]float64, n.nParams)
+	i := 0
+	for _, l := range n.layers {
+		for _, blk := range l.GradBlocks() {
+			i += copy(out[i:], blk)
+		}
+	}
+	return out
+}
+
+// Forward runs the full stack and returns the logits (aliased layer
+// storage; copy before retaining).
+func (n *Network) Forward(x []float64) []float64 {
+	h := x
+	for _, l := range n.layers {
+		h = l.Forward(h)
+	}
+	return h
+}
+
+// Predict returns the class with the highest logit for input x.
+func (n *Network) Predict(x []float64) int {
+	return tensor.ArgMax(n.Forward(x))
+}
+
+// LossAndGrad runs forward on one example, accumulates parameter gradients
+// for softmax-cross-entropy against the label, and returns the loss.
+func (n *Network) LossAndGrad(x []float64, label int) float64 {
+	logits := n.Forward(x)
+	tensor.SoftmaxTo(n.probs, logits)
+	loss := -math.Log(math.Max(n.probs[label], 1e-12))
+	copy(n.dLogits, n.probs)
+	n.dLogits[label] -= 1
+	g := n.dLogits
+	for i := len(n.layers) - 1; i >= 0; i-- {
+		g = n.layers[i].Backward(g)
+	}
+	return loss
+}
+
+// Step applies accumulated gradients with SGD at rate lr, scaled by
+// 1/batchSize, then zeroes the gradients. Gradients are clipped to
+// [-clip, clip] per coordinate after scaling; pass clip <= 0 to disable.
+func (n *Network) Step(lr float64, batchSize int, clip float64) {
+	if batchSize <= 0 {
+		panic("nn: Step with non-positive batch size")
+	}
+	scale := 1 / float64(batchSize)
+	for _, l := range n.layers {
+		params := l.ParamBlocks()
+		grads := l.GradBlocks()
+		for bi, g := range grads {
+			p := params[bi]
+			for i := range g {
+				gv := g[i] * scale
+				if clip > 0 {
+					if gv > clip {
+						gv = clip
+					} else if gv < -clip {
+						gv = -clip
+					}
+				}
+				p[i] -= lr * gv
+				g[i] = 0
+			}
+		}
+	}
+}
+
+// CrossEntropyFromLogits returns the softmax cross-entropy of logits
+// against label without touching any gradient state.
+func CrossEntropyFromLogits(logits []float64, label int) float64 {
+	probs := tensor.Softmax(logits)
+	return -math.Log(math.Max(probs[label], 1e-12))
+}
+
+// ZeroGrads clears all accumulated gradients without applying them.
+func (n *Network) ZeroGrads() {
+	for _, l := range n.layers {
+		for _, g := range l.GradBlocks() {
+			tensor.Zero(g)
+		}
+	}
+}

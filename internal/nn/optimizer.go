@@ -1,0 +1,158 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Optimizer applies accumulated gradients to parameters. The Network and
+// CharLM Step methods implement plain SGD inline; these optimizers offer
+// the classic alternatives for local training studies (momentum, Adam)
+// behind one interface operating on flat vectors.
+type Optimizer interface {
+	// Apply performs one update step: params -= f(grads). grads are
+	// consumed (zeroed) by the call. Both slices must keep the same
+	// length across calls.
+	Apply(params, grads []float64)
+	// Reset clears any internal state (moment estimates).
+	Reset()
+}
+
+// SGD is plain stochastic gradient descent with optional gradient
+// clipping (per coordinate; Clip <= 0 disables).
+type SGD struct {
+	LR   float64
+	Clip float64
+}
+
+var _ Optimizer = (*SGD)(nil)
+
+// Apply implements Optimizer.
+func (o *SGD) Apply(params, grads []float64) {
+	checkLens(len(params), len(grads))
+	for i, g := range grads {
+		if o.Clip > 0 {
+			g = clipVal(g, o.Clip)
+		}
+		params[i] -= o.LR * g
+		grads[i] = 0
+	}
+}
+
+// Reset implements Optimizer (SGD is stateless).
+func (o *SGD) Reset() {}
+
+// Momentum is SGD with classical momentum: v = mu*v + g; p -= lr*v.
+type Momentum struct {
+	LR   float64
+	Mu   float64 // momentum coefficient, typically 0.9
+	Clip float64
+
+	velocity []float64
+}
+
+var _ Optimizer = (*Momentum)(nil)
+
+// Apply implements Optimizer.
+func (o *Momentum) Apply(params, grads []float64) {
+	checkLens(len(params), len(grads))
+	if o.velocity == nil {
+		o.velocity = make([]float64, len(params))
+	}
+	checkLens(len(o.velocity), len(params))
+	for i, g := range grads {
+		if o.Clip > 0 {
+			g = clipVal(g, o.Clip)
+		}
+		o.velocity[i] = o.Mu*o.velocity[i] + g
+		params[i] -= o.LR * o.velocity[i]
+		grads[i] = 0
+	}
+}
+
+// Reset implements Optimizer.
+func (o *Momentum) Reset() { o.velocity = nil }
+
+// Adam implements Kingma & Ba (2015) with bias correction.
+type Adam struct {
+	LR    float64 // typically 1e-3
+	Beta1 float64 // 0 selects the default 0.9
+	Beta2 float64 // 0 selects the default 0.999
+	Eps   float64 // 0 selects the default 1e-8
+
+	m, v []float64
+	t    int
+}
+
+var _ Optimizer = (*Adam)(nil)
+
+// Apply implements Optimizer.
+func (o *Adam) Apply(params, grads []float64) {
+	checkLens(len(params), len(grads))
+	b1, b2, eps := o.Beta1, o.Beta2, o.Eps
+	if b1 == 0 {
+		b1 = 0.9
+	}
+	if b2 == 0 {
+		b2 = 0.999
+	}
+	if eps == 0 {
+		eps = 1e-8
+	}
+	if o.m == nil {
+		o.m = make([]float64, len(params))
+		o.v = make([]float64, len(params))
+	}
+	checkLens(len(o.m), len(params))
+	o.t++
+	c1 := 1 - math.Pow(b1, float64(o.t))
+	c2 := 1 - math.Pow(b2, float64(o.t))
+	for i, g := range grads {
+		o.m[i] = b1*o.m[i] + (1-b1)*g
+		o.v[i] = b2*o.v[i] + (1-b2)*g*g
+		mHat := o.m[i] / c1
+		vHat := o.v[i] / c2
+		params[i] -= o.LR * mHat / (math.Sqrt(vHat) + eps)
+		grads[i] = 0
+	}
+}
+
+// Reset implements Optimizer.
+func (o *Adam) Reset() {
+	o.m, o.v, o.t = nil, nil, 0
+}
+
+// StepWith applies the accumulated network gradients with an arbitrary
+// optimizer instead of the built-in SGD: gradients are flattened, scaled
+// by 1/batchSize, passed through opt, and the resulting parameters loaded
+// back.
+func (n *Network) StepWith(opt Optimizer, batchSize int) {
+	if batchSize <= 0 {
+		panic("nn: StepWith with non-positive batch size")
+	}
+	params := n.Params()
+	grads := n.Grads()
+	scale := 1 / float64(batchSize)
+	for i := range grads {
+		grads[i] *= scale
+	}
+	opt.Apply(params, grads)
+	n.SetParams(params)
+	n.ZeroGrads()
+}
+
+func clipVal(g, clip float64) float64 {
+	if g > clip {
+		return clip
+	}
+	if g < -clip {
+		return -clip
+	}
+	return g
+}
+
+func checkLens(a, b int) {
+	if a != b {
+		panic(fmt.Sprintf("nn: optimizer length mismatch %d != %d", a, b))
+	}
+}

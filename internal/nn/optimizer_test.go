@@ -1,0 +1,150 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// quadratic is the classic optimizer test: minimize f(p) = 0.5*sum(p^2),
+// gradient = p. Every optimizer must drive p to zero.
+func optimizeQuadratic(opt Optimizer, steps int) []float64 {
+	params := []float64{5, -3, 2}
+	grads := make([]float64, len(params))
+	for s := 0; s < steps; s++ {
+		copy(grads, params)
+		opt.Apply(params, grads)
+	}
+	return params
+}
+
+func TestSGDConvergesOnQuadratic(t *testing.T) {
+	params := optimizeQuadratic(&SGD{LR: 0.1}, 200)
+	for i, p := range params {
+		if math.Abs(p) > 1e-6 {
+			t.Errorf("param %d = %v after SGD", i, p)
+		}
+	}
+}
+
+func TestMomentumConvergesOnQuadratic(t *testing.T) {
+	params := optimizeQuadratic(&Momentum{LR: 0.05, Mu: 0.9}, 300)
+	for i, p := range params {
+		if math.Abs(p) > 1e-6 {
+			t.Errorf("param %d = %v after momentum", i, p)
+		}
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	params := optimizeQuadratic(&Adam{LR: 0.2}, 400)
+	for i, p := range params {
+		if math.Abs(p) > 1e-4 {
+			t.Errorf("param %d = %v after Adam", i, p)
+		}
+	}
+}
+
+func TestOptimizersZeroGrads(t *testing.T) {
+	for _, opt := range []Optimizer{&SGD{LR: 0.1}, &Momentum{LR: 0.1, Mu: 0.9}, &Adam{LR: 0.01}} {
+		params := []float64{1, 2}
+		grads := []float64{3, 4}
+		opt.Apply(params, grads)
+		if grads[0] != 0 || grads[1] != 0 {
+			t.Errorf("%T did not consume gradients", opt)
+		}
+	}
+}
+
+func TestSGDClip(t *testing.T) {
+	opt := &SGD{LR: 1, Clip: 0.5}
+	params := []float64{0}
+	grads := []float64{100}
+	opt.Apply(params, grads)
+	if params[0] != -0.5 {
+		t.Errorf("clipped step = %v, want -0.5", params[0])
+	}
+}
+
+func TestMomentumAccumulates(t *testing.T) {
+	opt := &Momentum{LR: 1, Mu: 0.5}
+	params := []float64{0}
+	// Two unit gradients: first step -1, second step -(0.5*1 + 1) = -1.5.
+	opt.Apply(params, []float64{1})
+	if params[0] != -1 {
+		t.Fatalf("first step = %v", params[0])
+	}
+	opt.Apply(params, []float64{1})
+	if math.Abs(params[0]-(-2.5)) > 1e-12 {
+		t.Fatalf("second step to %v, want -2.5", params[0])
+	}
+	opt.Reset()
+	opt.Apply(params, []float64{1})
+	if math.Abs(params[0]-(-3.5)) > 1e-12 {
+		t.Fatalf("after Reset, step should be plain gradient: %v", params[0])
+	}
+}
+
+func TestAdamFirstStepIsLR(t *testing.T) {
+	// With bias correction, the very first Adam step has magnitude ~LR
+	// regardless of gradient scale.
+	for _, g := range []float64{0.001, 1, 1000} {
+		opt := &Adam{LR: 0.1}
+		params := []float64{0}
+		opt.Apply(params, []float64{g})
+		if math.Abs(math.Abs(params[0])-0.1) > 1e-3 {
+			t.Errorf("first Adam step for g=%v moved %v, want ~0.1", g, params[0])
+		}
+	}
+}
+
+func TestOptimizerLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	(&SGD{LR: 0.1}).Apply([]float64{1}, []float64{1, 2})
+}
+
+func TestStepWithMatchesSGD(t *testing.T) {
+	build := func() *Network {
+		rng := rand.New(rand.NewSource(11))
+		return NewNetwork(NewDense(3, 4, rng), NewTanh(4), NewDense(4, 2, rng))
+	}
+	x := []float64{0.5, -1, 2}
+
+	a := build()
+	a.LossAndGrad(x, 1)
+	a.Step(0.1, 1, 0)
+
+	b := build()
+	b.LossAndGrad(x, 1)
+	b.StepWith(&SGD{LR: 0.1}, 1)
+
+	pa, pb := a.Params(), b.Params()
+	for i := range pa {
+		if math.Abs(pa[i]-pb[i]) > 1e-12 {
+			t.Fatalf("StepWith(SGD) diverges from Step at %d: %v vs %v", i, pa[i], pb[i])
+		}
+	}
+}
+
+func TestNetworkTrainsWithAdam(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	net := NewNetwork(NewDense(2, 16, rng), NewReLU(16), NewDense(16, 2, rng))
+	opt := &Adam{LR: 0.01}
+	xs := [][]float64{{1, 1}, {-1, -1}}
+	ys := []int{0, 1}
+	for e := 0; e < 300; e++ {
+		for i := range xs {
+			net.LossAndGrad(xs[i], ys[i])
+		}
+		net.StepWith(opt, len(xs))
+	}
+	for i := range xs {
+		if net.Predict(xs[i]) != ys[i] {
+			t.Errorf("example %d misclassified after Adam training", i)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Package simulation implements the discrete-event simulator that the
+// federated-learning emulation runs on. Time is virtual: handlers execute
+// instantaneously in wall-clock terms (though they may do real model
+// training) and advance the clock only through scheduled delays, exactly
+// like the paper's emulation, which maintains per-node logical time and
+// advances it by benchmarked computation and network delays.
+package simulation
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled callback.
+type event struct {
+	time float64 // seconds of virtual time
+	seq  uint64  // tie-breaker preserving schedule order
+	fn   func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Sim is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use; all handlers run on the goroutine that calls Run.
+type Sim struct {
+	now     float64
+	seq     uint64
+	queue   eventQueue
+	stopped bool
+	// processed counts events executed, useful for loop guards in tests.
+	processed uint64
+}
+
+// New creates an empty simulator at time 0.
+func New() *Sim {
+	return &Sim{}
+}
+
+// Now returns the current virtual time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// Processed reports how many events have executed so far.
+func (s *Sim) Processed() uint64 { return s.processed }
+
+// Schedule runs fn after delay seconds of virtual time. Negative delays
+// are an error in the caller; they panic to surface the bug immediately.
+func (s *Sim) Schedule(delay float64, fn func()) {
+	if delay < 0 || math.IsNaN(delay) {
+		panic(fmt.Sprintf("simulation: negative or NaN delay %v", delay))
+	}
+	s.ScheduleAt(s.now+delay, fn)
+}
+
+// ScheduleAt runs fn at absolute virtual time t, which must not be in the
+// past.
+func (s *Sim) ScheduleAt(t float64, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("simulation: schedule at %v before now %v", t, s.now))
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{time: t, seq: s.seq, fn: fn})
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Run executes events in timestamp order until the queue drains, the
+// horizon is passed, or Stop is called. It returns the final virtual time.
+// Events scheduled exactly at the horizon still run; events beyond it stay
+// queued.
+func (s *Sim) Run(horizon float64) float64 {
+	s.stopped = false
+	for len(s.queue) > 0 && !s.stopped {
+		e := s.queue[0]
+		if e.time > horizon {
+			break
+		}
+		heap.Pop(&s.queue)
+		s.now = e.time
+		s.processed++
+		e.fn()
+	}
+	if s.now < horizon && len(s.queue) == 0 {
+		// A drained queue still advances the clock to the horizon so that
+		// successive Run calls observe monotone time.
+		s.now = horizon
+	}
+	return s.now
+}
+
+// Pending reports the number of queued events.
+func (s *Sim) Pending() int { return len(s.queue) }

@@ -1,0 +1,180 @@
+package simulation
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	s := New()
+	var order []float64
+	for _, d := range []float64{5, 1, 3, 2, 4} {
+		d := d
+		s.Schedule(d, func() { order = append(order, d) })
+	}
+	s.Run(10)
+	if !sort.Float64sAreSorted(order) {
+		t.Errorf("events out of order: %v", order)
+	}
+	if len(order) != 5 {
+		t.Errorf("ran %d events, want 5", len(order))
+	}
+}
+
+func TestSameTimestampFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(1, func() { order = append(order, i) })
+	}
+	s.Run(2)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events reordered: %v", order)
+		}
+	}
+}
+
+func TestNowAdvances(t *testing.T) {
+	s := New()
+	var at float64
+	s.Schedule(2.5, func() { at = s.Now() })
+	s.Run(10)
+	if at != 2.5 {
+		t.Errorf("handler saw Now=%v, want 2.5", at)
+	}
+	if s.Now() != 10 {
+		t.Errorf("drained run should land on horizon, Now=%v", s.Now())
+	}
+}
+
+func TestHorizonLeavesFutureEventsQueued(t *testing.T) {
+	s := New()
+	ran := false
+	s.Schedule(5, func() { ran = true })
+	s.Run(4)
+	if ran {
+		t.Error("event beyond horizon ran")
+	}
+	if s.Pending() != 1 {
+		t.Errorf("Pending = %d", s.Pending())
+	}
+	s.Run(6)
+	if !ran {
+		t.Error("event did not run on the next Run call")
+	}
+}
+
+func TestEventAtHorizonRuns(t *testing.T) {
+	s := New()
+	ran := false
+	s.Schedule(5, func() { ran = true })
+	s.Run(5)
+	if !ran {
+		t.Error("event exactly at horizon should run")
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.Schedule(float64(i), func() {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run(100)
+	if count != 3 {
+		t.Errorf("ran %d events after Stop, want 3", count)
+	}
+	// A subsequent Run resumes.
+	s.Run(100)
+	if count != 10 {
+		t.Errorf("resume ran to %d, want 10", count)
+	}
+}
+
+func TestHandlersCanSchedule(t *testing.T) {
+	s := New()
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 5 {
+			s.Schedule(1, recurse)
+		}
+	}
+	s.Schedule(0, recurse)
+	s.Run(100)
+	if depth != 5 {
+		t.Errorf("depth = %d", depth)
+	}
+	if s.Processed() != 5 {
+		t.Errorf("Processed = %d", s.Processed())
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	s.Schedule(-1, func() {})
+}
+
+func TestScheduleInPastPanics(t *testing.T) {
+	s := New()
+	s.Schedule(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		s.ScheduleAt(1, func() {})
+	})
+	s.Run(10)
+}
+
+// TestOrderProperty: random schedules always execute in nondecreasing
+// timestamp order, with ties broken by insertion order.
+func TestOrderProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+		type stamp struct {
+			t   float64
+			seq int
+		}
+		var got []stamp
+		n := 1 + rng.Intn(100)
+		for i := 0; i < n; i++ {
+			d := float64(rng.Intn(10))
+			i := i
+			s.Schedule(d, func() { got = append(got, stamp{s.Now(), i}) })
+		}
+		s.Run(1000)
+		if len(got) != n {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].t < got[i-1].t {
+				return false
+			}
+			if got[i].t == got[i-1].t && got[i].seq < got[i-1].seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

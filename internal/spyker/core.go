@@ -1,0 +1,405 @@
+// Package spyker implements the paper's primary contribution: the fully
+// asynchronous multi-server federated-learning protocol. The protocol
+// logic (Alg. 1 client/server interaction and Alg. 2 token-triggered
+// server-model exchange) lives in ServerCore, a transport-agnostic state
+// machine driven by message-handler calls. The same core is executed both
+// under the discrete-event simulator (sim.go) and over real TCP by the
+// live runtime (internal/live).
+package spyker
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/spyker-fl/spyker/internal/tensor"
+)
+
+// Token is the circulating token of Alg. 2. It carries a synchronization
+// ID (bid) and the freshest known age of every server model.
+type Token struct {
+	Bid  int
+	Ages []float64
+}
+
+// Outbound is everything a ServerCore needs to talk to the outside world.
+// Implementations route over the discrete-event simulator or over TCP.
+type Outbound interface {
+	// ReplyClient returns the new server model to client k along with the
+	// model age and the client's next learning rate (Alg. 1 l. 19).
+	ReplyClient(k int, params []float64, age, lr float64)
+	// BroadcastModel sends this server's model, age and the current
+	// synchronization ID to every other server (Alg. 2 l. 25/35).
+	BroadcastModel(params []float64, age float64, bid int)
+	// BroadcastAge announces this server's model age to every other
+	// server so the token holder can trigger a synchronization
+	// (Alg. 2 l. 29).
+	BroadcastAge(age float64)
+	// SendToken forwards the token to the next server on the ring
+	// (Alg. 2 l. 41).
+	SendToken(t Token, next int)
+}
+
+// Config parameterizes a ServerCore.
+type Config struct {
+	ID         int // this server's index in 0..N-1
+	NumServers int
+	NumClients int // clients assigned to THIS server (for the decay average)
+
+	EtaServer float64 // client-update aggregation rate eta_i
+	Phi       float64 // sigmoid activation rate
+	EtaA      float64 // server-model aggregation rate eta_a
+	HInter    float64 // inter-server age-drift threshold
+	HIntra    float64 // intra-server age-drift threshold
+
+	ClientLR     float64 // base local learning rate eta_k
+	DecayEnabled bool
+	Beta         float64 // relative decay per excess update
+	EtaMin       float64 // learning-rate floor
+
+	// MinAgeGapForAgeBroadcast rate-limits age announcements from
+	// non-token holders: a server only re-broadcasts its age after its
+	// model aged by at least this much since the previous announcement.
+	// Zero defaults to 1.
+	MinAgeGapForAgeBroadcast float64
+
+	// RobustClipFactor > 0 enables Byzantine-robust norm clipping of
+	// client updates (an extension; the paper lists "Byzantine Learning"
+	// as a keyword but evaluates only honest clients): the delta a client
+	// update applies is rescaled so its L2 norm never exceeds
+	// RobustClipFactor times the running average of honest delta norms.
+	// Sign-flipped or noise updates from malicious clients are thereby
+	// bounded to the influence of one ordinary update. 0 disables.
+	RobustClipFactor float64
+}
+
+// ServerCore is the Spyker server state machine. It is not safe for
+// concurrent use; callers serialize handler invocations (the simulator is
+// single-threaded, the live runtime uses one mutex per server).
+type ServerCore struct {
+	cfg Config
+	out Outbound
+
+	w       []float64
+	age     float64
+	agePrev float64
+
+	ages             []float64 // freshest known age per server
+	token            *Token
+	hasToken         bool
+	ongoingSynchro   bool
+	didBroadcast     map[int]bool
+	cnt              map[int]int
+	lastAgeBroadcast float64
+
+	updates map[int]int     // u[k]: updates received per client
+	rates   map[int]float64 // current learning rate per client
+	total   int             // total updates received (for the average)
+
+	// Byzantine-robust clipping state: exponential moving average of the
+	// (post-clip) client delta norms.
+	deltaNormEMA float64
+	emaReady     bool
+	clipped      int // updates whose delta was clipped
+
+	syncsTriggered int
+	syncsJoined    int
+}
+
+// NewServerCore creates a server with the given initial model. If
+// holdsToken is true the server starts as the token holder with bid 1
+// (paper: the token initially resides at one randomly chosen server).
+func NewServerCore(cfg Config, initial []float64, holdsToken bool, out Outbound) *ServerCore {
+	if cfg.NumServers <= 0 || cfg.ID < 0 || cfg.ID >= cfg.NumServers {
+		panic(fmt.Sprintf("spyker: bad server id %d of %d", cfg.ID, cfg.NumServers))
+	}
+	if cfg.MinAgeGapForAgeBroadcast <= 0 {
+		cfg.MinAgeGapForAgeBroadcast = 1
+	}
+	s := &ServerCore{
+		cfg:          cfg,
+		out:          out,
+		w:            tensor.Clone(initial),
+		ages:         make([]float64, cfg.NumServers),
+		didBroadcast: make(map[int]bool),
+		cnt:          make(map[int]int),
+		updates:      make(map[int]int),
+		rates:        make(map[int]float64),
+	}
+	if holdsToken {
+		s.token = &Token{Bid: 1, Ages: make([]float64, cfg.NumServers)}
+		s.hasToken = true
+	}
+	return s
+}
+
+// Params returns the live parameter vector (callers must not modify).
+func (s *ServerCore) Params() []float64 { return s.w }
+
+// Age returns the current model age A_i.
+func (s *ServerCore) Age() float64 { return s.age }
+
+// HasToken reports whether this server currently holds the token.
+func (s *ServerCore) HasToken() bool { return s.hasToken }
+
+// SyncsTriggered reports how many synchronizations this server initiated
+// as token holder.
+func (s *ServerCore) SyncsTriggered() int { return s.syncsTriggered }
+
+// SyncsJoined reports how many synchronizations this server participated
+// in (including triggered ones).
+func (s *ServerCore) SyncsJoined() int { return s.syncsJoined }
+
+// UpdatesFrom reports how many updates client k has contributed.
+func (s *ServerCore) UpdatesFrom(k int) int { return s.updates[k] }
+
+// StalenessWeight implements the dampening weight w_k^t of Alg. 1 l. 14.
+// The pseudo-code writes w = A_i - A_k literally, but the text specifies
+// the weight must "decrease the impact of the received update" as the age
+// difference grows, so — consistent with the FedAsync staleness family the
+// paper builds on and evaluates against — we use the polynomial form
+// (1 + (A_i - A_k))^(-1/2): a fresh update (equal ages) gets weight 1,
+// stale updates are damped. The 1/2 exponent matches the FedAsync
+// configuration of the paper's evaluation, keeping the client-update
+// aggregation of the two systems directly comparable. Sync-Spyker reuses
+// this weight for its client-update aggregation.
+func StalenessWeight(serverAge, clientAge float64) float64 {
+	tau := serverAge - clientAge
+	if tau < 0 {
+		tau = 0
+	}
+	return 1 / math.Sqrt(1+tau)
+}
+
+// DecayRate implements the Decay function of Sec. 4.1 given the update
+// count uk of a client and the per-server average uBar. Clients at or
+// below the average keep the base rate.
+//
+// The paper's pseudo-formula subtracts beta*(uk-uBar) linearly, but on any
+// long horizon the gap of an above-average client grows without bound, so
+// the linear rule eventually pins every faster-than-average client at
+// etaMin — which contradicts the paper's own stated goal, to "balance the
+// overall contribution of clients" (Sec. 5.5), and destroys convergence in
+// our emulation. We therefore use the hyperbolic rule the stated goal
+// implies: lr = base * (uBar/uk)^beta. With beta=1 a client contributing
+// r times the average rate is damped by exactly 1/r, so every client's
+// long-run contribution mass is equal; beta=0 disables the decay; etaMin
+// still floors the rate.
+func DecayRate(base, beta, etaMin, uk, uBar float64) float64 {
+	if uk <= uBar || uk <= 0 || uBar <= 0 {
+		return base
+	}
+	lr := base * math.Pow(uBar/uk, beta)
+	if lr < etaMin {
+		lr = etaMin
+	}
+	return lr
+}
+
+// ServerAggWeight computes the sigmoid aggregation weight of Alg. 2
+// ll. 47-48 for merging a remote model of age remoteAge into a local model
+// of age localAge with activation rate phi.
+func ServerAggWeight(phi, localAge, remoteAge float64) float64 {
+	denom := localAge
+	if denom < 1 {
+		denom = 1 // guard: ages start at 0
+	}
+	a := phi * (remoteAge - localAge) / denom
+	return 1 / (1 + math.Exp(-a))
+}
+
+// HandleClientUpdate processes a trained model from client k that was
+// based on a server model of age clientAge (Alg. 1, Aggregation).
+//
+// When the decay is enabled, the update's aggregation weight is scaled by
+// the same decay ratio as the client's learning rate. This realizes the
+// paper's stated goal — "the impact of the updates that the most active
+// clients generate is therefore dampened" — on the server side too:
+// without it, a client whose learning rate has been floored at eta_min
+// returns an (almost) unchanged copy of an old server model, and merging
+// that echo at full weight drags the server back toward its own past.
+func (s *ServerCore) HandleClientUpdate(k int, params []float64, clientAge float64) {
+	s.updates[k]++
+	s.total++
+	lr := s.decayedRate(k)
+	s.rates[k] = lr
+
+	damp := 1.0
+	if s.cfg.DecayEnabled && s.cfg.ClientLR > 0 {
+		damp = lr / s.cfg.ClientLR
+	}
+	wk := StalenessWeight(s.age, clientAge)
+	s.applyClientDelta(params, s.cfg.EtaServer*wk*damp)
+	s.age++
+	s.ages[s.cfg.ID] = s.age
+
+	s.out.ReplyClient(k, tensor.Clone(s.w), s.age, lr)
+	s.checkSynchronization()
+}
+
+// applyClientDelta merges a client update at the given effective weight:
+// W += weight * (params - W). With RobustClipFactor enabled, the delta is
+// first rescaled so its norm stays within the factor times the running
+// average delta norm, bounding what any single (possibly malicious)
+// update can do to the model.
+func (s *ServerCore) applyClientDelta(params []float64, weight float64) {
+	if s.cfg.RobustClipFactor <= 0 {
+		tensor.Lerp(s.w, params, weight)
+		return
+	}
+	delta := tensor.Sub(params, s.w)
+	norm := tensor.Norm2(delta)
+	scale := 1.0
+	if s.emaReady {
+		if limit := s.cfg.RobustClipFactor * s.deltaNormEMA; norm > limit && norm > 0 {
+			scale = limit / norm
+			s.clipped++
+		}
+	}
+	tensor.AXPY(weight*scale, s.w, delta)
+	// The EMA tracks post-clip norms so attackers cannot inflate the
+	// clipping threshold by flooding oversized updates.
+	post := norm * scale
+	if !s.emaReady {
+		s.deltaNormEMA = post
+		s.emaReady = true
+	} else {
+		s.deltaNormEMA = 0.9*s.deltaNormEMA + 0.1*post
+	}
+}
+
+// ClippedUpdates reports how many client updates were norm-clipped.
+func (s *ServerCore) ClippedUpdates() int { return s.clipped }
+
+// decayedRate implements the Decay function of Sec. 4.1: clients that have
+// contributed more updates than the per-server average get their learning
+// rate reduced proportionally to the excess, floored at EtaMin. Beta is
+// interpreted as a relative decay per excess update so the rule is
+// invariant to the absolute learning-rate scale.
+func (s *ServerCore) decayedRate(k int) float64 {
+	if !s.cfg.DecayEnabled {
+		return s.cfg.ClientLR
+	}
+	uk := float64(s.updates[k])
+	nClients := s.cfg.NumClients
+	if nClients <= 0 {
+		nClients = len(s.updates)
+	}
+	uBar := float64(s.total) / float64(nClients)
+	return DecayRate(s.cfg.ClientLR, s.cfg.Beta, s.cfg.EtaMin, uk, uBar)
+}
+
+// The paper's pseudo-code merges age knowledge with max(), which is only
+// sound if ages grow monotonically — but ServerAgg (Alg. 2 l. 50) moves a
+// server's age toward the remote age by a weighted average, so ages can
+// DECREASE. With max-merge, a peer's historical peak age then sticks in
+// everybody's knowledge map forever, the perceived inter-server drift
+// never falls below hInter again, and the deployment synchronizes in an
+// infinite loop (our protocol fuzzer found this livelock). Since the
+// paper assumes FIFO links, a direct report from a server is always
+// causally fresher than any previous one, so knowledge is overwritten
+// instead (see DESIGN.md, deviation 10).
+
+// HandleAge processes an age announcement from server j (Alg. 2 RcvAge).
+func (s *ServerCore) HandleAge(j int, age float64) {
+	s.ages[j] = age
+	s.checkSynchronization()
+}
+
+// HandleToken processes token arrival (Alg. 2 RcvToken). Token entries
+// may be staler than direct knowledge (the token traveled the ring), but
+// adopting them is still safe: a wrongly perceived drift at worst
+// triggers one extra exchange, whose direct reports refresh the map.
+func (s *ServerCore) HandleToken(t Token) {
+	for j, a := range t.Ages {
+		if j != s.cfg.ID {
+			s.ages[j] = a
+		}
+	}
+	s.ages[s.cfg.ID] = s.age
+	t.Bid++
+	s.token = &t
+	s.hasToken = true
+	s.checkSynchronization()
+}
+
+// HandleServerModel processes another server's model broadcast
+// (Alg. 2 RcvModel).
+func (s *ServerCore) HandleServerModel(j int, params []float64, age float64, bid int) {
+	s.ages[j] = age
+	if !s.didBroadcast[bid] {
+		s.didBroadcast[bid] = true
+		s.agePrev = s.age
+		s.syncsJoined++
+		s.out.BroadcastModel(tensor.Clone(s.w), s.age, bid)
+	}
+	s.serverAgg(params, age)
+	if s.hasToken && s.token.Bid == bid {
+		s.cnt[bid]++
+		if s.cnt[bid] == s.cfg.NumServers {
+			s.forwardToken()
+		}
+	}
+}
+
+// forwardToken stamps the freshest ages into the token and passes it to
+// the ring successor.
+func (s *ServerCore) forwardToken() {
+	t := *s.token
+	t.Ages = tensor.Clone(s.ages)
+	next := (s.cfg.ID + 1) % s.cfg.NumServers
+	s.token = nil
+	s.hasToken = false
+	s.ongoingSynchro = false
+	s.out.SendToken(t, next)
+}
+
+// serverAgg merges another server's model into the local one
+// (Alg. 2 ServerAgg): the sigmoid of the relative age difference decides
+// how much the remote model counts, and the local age moves toward the
+// remote age by the same effective weight.
+func (s *ServerCore) serverAgg(params []float64, remoteAge float64) {
+	w := ServerAggWeight(s.cfg.Phi, s.age, remoteAge)
+	ew := s.cfg.EtaA * w
+	tensor.Lerp(s.w, params, ew)
+	s.age = (1-ew)*s.age + ew*remoteAge
+	s.ages[s.cfg.ID] = s.age
+}
+
+// checkSynchronization implements Alg. 2 l. 20-29: trigger a model
+// exchange when server-model ages drifted apart by more than HInter or
+// when this server aged by more than HIntra since the last exchange.
+func (s *ServerCore) checkSynchronization() {
+	maxA, minA := s.ages[0], s.ages[0]
+	for _, a := range s.ages[1:] {
+		if a > maxA {
+			maxA = a
+		}
+		if a < minA {
+			minA = a
+		}
+	}
+	if maxA-minA < s.cfg.HInter && s.age-s.agePrev < s.cfg.HIntra {
+		return
+	}
+	if s.cfg.NumServers == 1 {
+		// A single-server deployment has no peers to exchange with; just
+		// reset the intra-server trigger.
+		s.agePrev = s.age
+		return
+	}
+	if s.hasToken && !s.ongoingSynchro {
+		s.agePrev = s.age
+		s.ongoingSynchro = true
+		bid := s.token.Bid
+		s.didBroadcast[bid] = true
+		s.cnt[bid] = 1 // counts our own model
+		s.syncsTriggered++
+		s.syncsJoined++
+		s.out.BroadcastModel(tensor.Clone(s.w), s.age, bid)
+	} else if !s.hasToken {
+		if s.age-s.lastAgeBroadcast >= s.cfg.MinAgeGapForAgeBroadcast {
+			s.lastAgeBroadcast = s.age
+			s.out.BroadcastAge(s.age)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package spyker
+
+import (
+	"fmt"
+
+	"github.com/spyker-fl/spyker/internal/fl"
+	"github.com/spyker-fl/spyker/internal/geo"
+)
+
+// Algorithm runs Spyker under the discrete-event simulator. It implements
+// fl.Algorithm.
+type Algorithm struct {
+	// DisableDecay turns the learning-rate decay off (for the Fig. 11
+	// ablation).
+	DisableDecay bool
+
+	servers []*simServer
+}
+
+var _ fl.Algorithm = (*Algorithm)(nil)
+
+// Name implements fl.Algorithm.
+func (a *Algorithm) Name() string {
+	if a.DisableDecay {
+		return "Spyker(no-decay)"
+	}
+	return "Spyker"
+}
+
+// simServer glues a ServerCore to the simulator: it owns the processing
+// queue that models server occupancy and implements Outbound by sending
+// messages through the geo network.
+type simServer struct {
+	env    *fl.Env
+	alg    *Algorithm
+	id     int
+	core   *ServerCore
+	queue  *fl.ProcQueue
+	client map[int]*fl.SimClient
+}
+
+var _ Outbound = (*simServer)(nil)
+
+// Build implements fl.Algorithm.
+func (a *Algorithm) Build(env *fl.Env) error {
+	if err := env.Validate(); err != nil {
+		return err
+	}
+	n := len(env.Servers)
+	initial := env.NewModel(env.Seed).Params()
+
+	a.servers = make([]*simServer, n)
+	for i := range a.servers {
+		s := &simServer{
+			env:    env,
+			alg:    a,
+			id:     i,
+			queue:  fl.NewProcQueue(env.Sim, i, env.Observer),
+			client: make(map[int]*fl.SimClient),
+		}
+		cfg := Config{
+			ID:           i,
+			NumServers:   n,
+			NumClients:   len(env.Servers[i].Clients),
+			EtaServer:    env.Hyper.EtaServer,
+			Phi:          env.Hyper.Phi,
+			EtaA:         env.Hyper.EtaA,
+			HInter:       env.Hyper.HInter,
+			HIntra:       env.Hyper.HIntra,
+			ClientLR:     env.Hyper.ClientLR,
+			DecayEnabled: env.Hyper.DecayEnabled && !a.DisableDecay,
+			Beta:         env.Hyper.Beta,
+			EtaMin:       env.Hyper.EtaMin,
+
+			RobustClipFactor: env.Hyper.RobustClipFactor,
+		}
+		s.core = NewServerCore(cfg, initial, i == 0, s)
+		a.servers[i] = s
+	}
+
+	// Create the clients and hand every one the initial model at time 0
+	// (clients begin training immediately, as in the paper's emulation).
+	for ci := range env.Clients {
+		spec := env.Clients[ci]
+		srv := a.servers[spec.Server]
+		c := &fl.SimClient{
+			Env:   env,
+			Spec:  spec,
+			Model: env.NewModel(env.Seed + int64(1000+ci)),
+			Deliver: func(clientID int, update []float64, meta any) {
+				age, ok := meta.(float64)
+				if !ok {
+					panic(fmt.Sprintf("spyker: client meta %T is not an age", meta))
+				}
+				srv.queue.Submit(env.ProcFor(srv.id, env.Hyper.ProcSpyker), func() {
+					srv.core.HandleClientUpdate(clientID, update, age)
+					env.Observer.ClientUpdateProcessed(
+						env.Sim.Now(), srv.id, clientID, a.ServerParams)
+				})
+			},
+		}
+		srv.client[ci] = c
+		c.HandleModel(initial, float64(0), env.Hyper.ClientLR)
+	}
+	return nil
+}
+
+// ServerParams returns the live parameter vectors of every server model;
+// used by observers to evaluate global progress.
+func (a *Algorithm) ServerParams() [][]float64 {
+	out := make([][]float64, len(a.servers))
+	for i, s := range a.servers {
+		out[i] = s.core.Params()
+	}
+	return out
+}
+
+// Servers exposes the server cores for white-box tests and diagnostics.
+func (a *Algorithm) Servers() []*ServerCore {
+	out := make([]*ServerCore, len(a.servers))
+	for i, s := range a.servers {
+		out[i] = s.core
+	}
+	return out
+}
+
+// ReplyClient implements Outbound.
+func (s *simServer) ReplyClient(k int, params []float64, age, lr float64) {
+	src := s.env.ServerEndpoint(s.id)
+	dst := s.env.ClientEndpoint(k)
+	c := s.client[k]
+	s.env.Net.Send(src, dst, s.env.ModelBytes, geo.ClientServer, func() {
+		c.HandleModel(params, age, lr)
+	})
+}
+
+// BroadcastModel implements Outbound.
+func (s *simServer) BroadcastModel(params []float64, age float64, bid int) {
+	src := s.env.ServerEndpoint(s.id)
+	for _, peer := range s.alg.servers {
+		if peer.id == s.id {
+			continue
+		}
+		p := peer
+		dst := s.env.ServerEndpoint(p.id)
+		s.env.Net.Send(src, dst, s.env.ModelBytes, geo.ServerServer, func() {
+			p.queue.Submit(s.env.ProcFor(p.id, s.env.Hyper.ProcSpyker), func() {
+				p.core.HandleServerModel(s.id, params, age, bid)
+			})
+		})
+	}
+}
+
+// BroadcastAge implements Outbound.
+func (s *simServer) BroadcastAge(age float64) {
+	src := s.env.ServerEndpoint(s.id)
+	for _, peer := range s.alg.servers {
+		if peer.id == s.id {
+			continue
+		}
+		p := peer
+		dst := s.env.ServerEndpoint(p.id)
+		s.env.Net.Send(src, dst, fl.AgeWireBytes, geo.ServerServer, func() {
+			p.queue.Submit(0, func() {
+				p.core.HandleAge(s.id, age)
+			})
+		})
+	}
+}
+
+// SendToken implements Outbound.
+func (s *simServer) SendToken(t Token, next int) {
+	src := s.env.ServerEndpoint(s.id)
+	dst := s.env.ServerEndpoint(next)
+	peer := s.alg.servers[next]
+	s.env.Net.Send(src, dst, fl.TokenWireBytes(len(t.Ages)), geo.ServerServer, func() {
+		peer.queue.Submit(0, func() {
+			peer.core.HandleToken(t)
+		})
+	})
+}

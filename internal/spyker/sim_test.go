@@ -1,0 +1,115 @@
+package spyker_test
+
+import (
+	"testing"
+
+	"github.com/spyker-fl/spyker/internal/experiments"
+	"github.com/spyker-fl/spyker/internal/spyker"
+)
+
+// TestSimulatedSpykerRuns exercises the DES wiring end to end on a small
+// deployment and checks the protocol-level invariants that the
+// transport-agnostic core tests cannot see: exactly one token holder at
+// quiescence, all servers aging, every client contributing.
+func TestSimulatedSpykerRuns(t *testing.T) {
+	env, rec, err := experiments.BuildEnv(experiments.Setup{
+		Task:       experiments.TaskMNIST,
+		NumServers: 3,
+		NumClients: 9,
+		Seed:       1,
+		EvalEvery:  100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lower the sync thresholds so token activity happens quickly.
+	env.Hyper.HInter = 3
+	env.Hyper.HIntra = 30
+
+	alg := &spyker.Algorithm{}
+	if err := alg.Build(env); err != nil {
+		t.Fatal(err)
+	}
+	env.Sim.Run(15)
+
+	if rec.Updates() == 0 {
+		t.Fatal("no updates processed")
+	}
+	holders := 0
+	synced := 0
+	for i, core := range alg.Servers() {
+		if core.HasToken() {
+			holders++
+		}
+		if core.Age() <= 0 {
+			t.Errorf("server %d never aged", i)
+		}
+		if core.SyncsJoined() > 0 {
+			synced++
+		}
+	}
+	if holders != 1 {
+		t.Errorf("%d token holders at quiescence, want 1", holders)
+	}
+	if synced != 3 {
+		t.Errorf("only %d/3 servers participated in a sync", synced)
+	}
+	for c := 0; c < len(env.Clients); c++ {
+		if rec.ClientUpdates[c] == 0 {
+			t.Errorf("client %d never contributed", c)
+		}
+	}
+	if len(alg.ServerParams()) != 3 {
+		t.Error("ServerParams length wrong")
+	}
+}
+
+// TestSpykerNoDecayName covers the ablation variant's naming.
+func TestSpykerNames(t *testing.T) {
+	if (&spyker.Algorithm{}).Name() != "Spyker" {
+		t.Error("Name wrong")
+	}
+	if (&spyker.Algorithm{DisableDecay: true}).Name() != "Spyker(no-decay)" {
+		t.Error("no-decay Name wrong")
+	}
+}
+
+// TestSpykerAgesStayCoherent: with frequent syncs the server ages must
+// not drift apart beyond hInter plus the in-flight slack.
+func TestSpykerAgeCoherence(t *testing.T) {
+	env, _, err := experiments.BuildEnv(experiments.Setup{
+		Task:       experiments.TaskMNIST,
+		NumServers: 4,
+		NumClients: 16,
+		Seed:       2,
+		EvalEvery:  1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Hyper.HInter = 4
+	env.Hyper.HIntra = 1e9
+
+	alg := &spyker.Algorithm{}
+	if err := alg.Build(env); err != nil {
+		t.Fatal(err)
+	}
+	env.Sim.Run(20)
+
+	var minA, maxA float64
+	for i, core := range alg.Servers() {
+		a := core.Age()
+		if i == 0 || a < minA {
+			minA = a
+		}
+		if i == 0 || a > maxA {
+			maxA = a
+		}
+	}
+	// Ages drift while broadcasts are in flight, so allow generous slack
+	// over hInter; without the protocol the drift would grow unboundedly
+	// (4 clients/server x ~6 updates/s x 20s = hundreds of age units).
+	if maxA-minA > 20*env.Hyper.HInter {
+		t.Errorf("server ages drifted %v apart (hInter=%v)", maxA-minA, env.Hyper.HInter)
+	}
+}

@@ -1,0 +1,108 @@
+package spyker
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/spyker-fl/spyker/internal/tensor"
+)
+
+// State is a serializable snapshot of a ServerCore: everything needed to
+// resume the protocol after a restart — the model, the age bookkeeping,
+// the token (if held), the synchronization dedup sets, and the per-client
+// decay counters. It is a plain data struct so it gob/json-encodes
+// directly.
+type State struct {
+	Config Config
+
+	W       []float64
+	Age     float64
+	AgePrev float64
+
+	Ages             []float64
+	Token            *Token // nil if not held
+	OngoingSynchro   bool
+	DidBroadcast     []int // sorted synchronization IDs already served
+	Cnt              map[int]int
+	LastAgeBroadcast float64
+
+	Updates map[int]int
+	Total   int
+
+	SyncsTriggered int
+	SyncsJoined    int
+}
+
+// Snapshot captures the core's full protocol state. The returned State
+// shares no storage with the core.
+func (s *ServerCore) Snapshot() State {
+	st := State{
+		Config:           s.cfg,
+		W:                tensor.Clone(s.w),
+		Age:              s.age,
+		AgePrev:          s.agePrev,
+		Ages:             tensor.Clone(s.ages),
+		OngoingSynchro:   s.ongoingSynchro,
+		Cnt:              make(map[int]int, len(s.cnt)),
+		LastAgeBroadcast: s.lastAgeBroadcast,
+		Updates:          make(map[int]int, len(s.updates)),
+		Total:            s.total,
+		SyncsTriggered:   s.syncsTriggered,
+		SyncsJoined:      s.syncsJoined,
+	}
+	if s.token != nil {
+		t := Token{Bid: s.token.Bid, Ages: tensor.Clone(s.token.Ages)}
+		st.Token = &t
+	}
+	for bid := range s.didBroadcast {
+		st.DidBroadcast = append(st.DidBroadcast, bid)
+	}
+	sort.Ints(st.DidBroadcast)
+	for k, v := range s.cnt {
+		st.Cnt[k] = v
+	}
+	for k, v := range s.updates {
+		st.Updates[k] = v
+	}
+	return st
+}
+
+// RestoreServerCore rebuilds a core from a snapshot, attaching the given
+// outbound. The state is copied, not aliased.
+func RestoreServerCore(st State, out Outbound) (*ServerCore, error) {
+	if st.Config.NumServers <= 0 || st.Config.ID < 0 || st.Config.ID >= st.Config.NumServers {
+		return nil, fmt.Errorf("spyker: snapshot has invalid config %+v", st.Config)
+	}
+	if len(st.Ages) != st.Config.NumServers {
+		return nil, fmt.Errorf("spyker: snapshot ages length %d != %d servers",
+			len(st.Ages), st.Config.NumServers)
+	}
+	if st.Token != nil && len(st.Token.Ages) != st.Config.NumServers {
+		return nil, fmt.Errorf("spyker: snapshot token ages length %d != %d servers",
+			len(st.Token.Ages), st.Config.NumServers)
+	}
+	s := NewServerCore(st.Config, st.W, false, out)
+	s.age = st.Age
+	s.agePrev = st.AgePrev
+	copy(s.ages, st.Ages)
+	if st.Token != nil {
+		t := Token{Bid: st.Token.Bid, Ages: tensor.Clone(st.Token.Ages)}
+		s.token = &t
+		s.hasToken = true
+	}
+	s.ongoingSynchro = st.OngoingSynchro
+	for _, bid := range st.DidBroadcast {
+		s.didBroadcast[bid] = true
+	}
+	for k, v := range st.Cnt {
+		s.cnt[k] = v
+	}
+	s.lastAgeBroadcast = st.LastAgeBroadcast
+	for k, v := range st.Updates {
+		s.updates[k] = v
+	}
+	s.total = st.Total
+	s.syncsTriggered = st.SyncsTriggered
+	s.syncsJoined = st.SyncsJoined
+	return s, nil
+}

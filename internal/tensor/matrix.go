@@ -1,0 +1,106 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major matrix backed by a flat slice, so a matrix's
+// storage can be aliased into a model's flat parameter vector without
+// copying.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zeroed Rows x Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: invalid matrix shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// MatrixFrom wraps an existing slice as a Rows x Cols matrix. The slice is
+// aliased, not copied; it must have exactly rows*cols elements.
+func MatrixFrom(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: data length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns the element at row r, column c.
+func (m *Matrix) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set writes v at row r, column c.
+func (m *Matrix) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// Row returns the slice aliasing row r.
+func (m *Matrix) Row(r int) []float64 { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	return &Matrix{Rows: m.Rows, Cols: m.Cols, Data: Clone(m.Data)}
+}
+
+// MatVec computes dst = m * x. dst must have length m.Rows and x length
+// m.Cols. dst may not alias x.
+func (m *Matrix) MatVec(dst, x []float64) {
+	mustSameLen(len(dst), m.Rows)
+	mustSameLen(len(x), m.Cols)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		var s float64
+		for c, w := range row {
+			s += w * x[c]
+		}
+		dst[r] = s
+	}
+}
+
+// MatVecT computes dst = m^T * x (x has length m.Rows, dst length m.Cols).
+// It is the backward pass of MatVec.
+func (m *Matrix) MatVecT(dst, x []float64) {
+	mustSameLen(len(dst), m.Cols)
+	mustSameLen(len(x), m.Rows)
+	Zero(dst)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		xv := x[r]
+		if xv == 0 {
+			continue
+		}
+		for c, w := range row {
+			dst[c] += w * xv
+		}
+	}
+}
+
+// AddOuter accumulates the outer product a*b^T into m:
+// m[r][c] += alpha * a[r] * b[c]. It is the weight-gradient kernel of a
+// dense layer.
+func (m *Matrix) AddOuter(alpha float64, a, b []float64) {
+	mustSameLen(len(a), m.Rows)
+	mustSameLen(len(b), m.Cols)
+	for r := 0; r < m.Rows; r++ {
+		av := alpha * a[r]
+		if av == 0 {
+			continue
+		}
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		for c := range row {
+			row[c] += av * b[c]
+		}
+	}
+}
+
+// XavierInit fills m with samples from U(-limit, limit) where
+// limit = sqrt(6/(fanIn+fanOut)), the Glorot uniform initializer.
+func (m *Matrix) XavierInit(rng *rand.Rand, fanIn, fanOut int) {
+	limit := math.Sqrt(6 / float64(fanIn+fanOut))
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+}

@@ -1,0 +1,195 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestAddSub(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if got := Add(a, b); got[0] != 5 || got[1] != 7 || got[2] != 9 {
+		t.Errorf("Add = %v", got)
+	}
+	if got := Sub(b, a); got[0] != 3 || got[1] != 3 || got[2] != 3 {
+		t.Errorf("Sub = %v", got)
+	}
+	// inputs untouched
+	if a[0] != 1 || b[0] != 4 {
+		t.Error("Add/Sub modified inputs")
+	}
+}
+
+func TestInPlaceOps(t *testing.T) {
+	a := []float64{1, 2}
+	AddInPlace(a, []float64{10, 20})
+	if a[0] != 11 || a[1] != 22 {
+		t.Errorf("AddInPlace = %v", a)
+	}
+	SubInPlace(a, []float64{1, 2})
+	if a[0] != 10 || a[1] != 20 {
+		t.Errorf("SubInPlace = %v", a)
+	}
+	AXPY(0.5, a, []float64{2, 4})
+	if a[0] != 11 || a[1] != 22 {
+		t.Errorf("AXPY = %v", a)
+	}
+	ScaleInPlace(2, a)
+	if a[0] != 22 || a[1] != 44 {
+		t.Errorf("ScaleInPlace = %v", a)
+	}
+}
+
+func TestLerpEndpoints(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{7, 8, 9}
+	c := Clone(a)
+	Lerp(c, b, 0)
+	for i := range c {
+		if c[i] != a[i] {
+			t.Fatalf("Lerp t=0 moved a: %v", c)
+		}
+	}
+	c = Clone(a)
+	Lerp(c, b, 1)
+	for i := range c {
+		if !almostEq(c[i], b[i], 1e-12) {
+			t.Fatalf("Lerp t=1 != b: %v", c)
+		}
+	}
+}
+
+func TestLerpMidpointProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		c := Clone(a)
+		Lerp(c, b, 0.5)
+		for i := range c {
+			if !almostEq(c[i], (a[i]+b[i])/2, 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDotNorm(t *testing.T) {
+	a := []float64{3, 4}
+	if got := Dot(a, a); got != 25 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := Norm2(a); got != 5 {
+		t.Errorf("Norm2 = %v", got)
+	}
+}
+
+func TestMeanWeightedMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	got := WeightedMean([]float64{1, 3}, []float64{1, 3})
+	if !almostEq(got, 2.5, 1e-12) {
+		t.Errorf("WeightedMean = %v", got)
+	}
+}
+
+func TestWeightedMeanZeroWeightPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on zero total weight")
+		}
+	}()
+	WeightedMean([]float64{1}, []float64{0})
+}
+
+func TestClip(t *testing.T) {
+	a := []float64{-10, -1, 0, 1, 10}
+	ClipInPlace(a, 2)
+	want := []float64{-2, -1, 0, 1, 2}
+	for i := range a {
+		if a[i] != want[i] {
+			t.Fatalf("ClipInPlace = %v", a)
+		}
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	if ArgMax(nil) != -1 {
+		t.Error("ArgMax(nil) != -1")
+	}
+	if got := ArgMax([]float64{1, 5, 3, 5}); got != 1 {
+		t.Errorf("ArgMax ties should pick first: %d", got)
+	}
+}
+
+func TestSoftmaxProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		a := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64() * 10
+		}
+		s := Softmax(a)
+		var sum float64
+		for _, v := range s {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+			sum += v
+		}
+		return almostEq(sum, 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSoftmaxExtremeValuesStable(t *testing.T) {
+	s := Softmax([]float64{1000, 999, -1000})
+	if math.IsNaN(s[0]) || s[0] < s[1] {
+		t.Errorf("softmax unstable: %v", s)
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on length mismatch")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestZeroFillClone(t *testing.T) {
+	a := []float64{1, 2}
+	b := Clone(a)
+	Zero(a)
+	if a[0] != 0 || a[1] != 0 {
+		t.Error("Zero failed")
+	}
+	if b[0] != 1 || b[1] != 2 {
+		t.Error("Clone aliased storage")
+	}
+	Fill(b, 7)
+	if b[0] != 7 || b[1] != 7 {
+		t.Error("Fill failed")
+	}
+}

@@ -1,0 +1,145 @@
+// Package transport implements the wire protocol of the live (non
+// simulated) Spyker runtime: length-delimited gob frames over TCP. It
+// carries exactly the message vocabulary of the Spyker protocol — client
+// updates, model replies, server-model broadcasts, age announcements, and
+// the token.
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Kind discriminates protocol messages.
+type Kind int
+
+// Protocol message kinds.
+const (
+	// KindHello registers a client with its server (From = client ID).
+	KindHello Kind = iota + 1
+	// KindClientUpdate carries a trained model from client to server.
+	KindClientUpdate
+	// KindModelReply carries the new server model back to a client.
+	KindModelReply
+	// KindServerModel is a server-to-server model broadcast.
+	KindServerModel
+	// KindAge announces a server's model age.
+	KindAge
+	// KindToken passes the synchronization token.
+	KindToken
+	// KindShutdown tells a client to stop training and disconnect.
+	KindShutdown
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindHello:
+		return "hello"
+	case KindClientUpdate:
+		return "client-update"
+	case KindModelReply:
+		return "model-reply"
+	case KindServerModel:
+		return "server-model"
+	case KindAge:
+		return "age"
+	case KindToken:
+		return "token"
+	case KindShutdown:
+		return "shutdown"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Msg is one protocol frame. Which fields are meaningful depends on Kind.
+type Msg struct {
+	Kind   Kind
+	From   int       // sender ID (client or server, per Kind)
+	Params []float64 // model parameters
+	Age    float64   // model age
+	LR     float64   // next client learning rate (KindModelReply)
+	Bid    int       // synchronization ID (KindServerModel, KindToken)
+	Ages   []float64 // token age vector (KindToken)
+}
+
+// Conn is a gob-framed connection. Send is safe for concurrent use;
+// Recv must be driven from a single reader goroutine.
+type Conn struct {
+	raw net.Conn
+	enc *gob.Encoder
+	dec *gob.Decoder
+	mu  sync.Mutex // guards enc
+}
+
+// NewConn wraps an established net.Conn.
+func NewConn(raw net.Conn) *Conn {
+	return &Conn{raw: raw, enc: gob.NewEncoder(raw), dec: gob.NewDecoder(raw)}
+}
+
+// Dial connects to addr over TCP.
+func Dial(addr string) (*Conn, error) {
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return NewConn(raw), nil
+}
+
+// Send encodes one message.
+func (c *Conn) Send(m *Msg) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(m); err != nil {
+		return fmt.Errorf("transport: send %v: %w", m.Kind, err)
+	}
+	return nil
+}
+
+// Recv decodes the next message.
+func (c *Conn) Recv() (*Msg, error) {
+	var m Msg
+	if err := c.dec.Decode(&m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Close closes the underlying connection; pending Recv calls fail.
+func (c *Conn) Close() error { return c.raw.Close() }
+
+// RemoteAddr reports the peer address.
+func (c *Conn) RemoteAddr() string { return c.raw.RemoteAddr().String() }
+
+// Listener accepts gob-framed connections.
+type Listener struct {
+	l net.Listener
+}
+
+// Listen opens a TCP listener on addr ("127.0.0.1:0" for an ephemeral
+// test port).
+func Listen(addr string) (*Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return &Listener{l: l}, nil
+}
+
+// Addr reports the bound address.
+func (l *Listener) Addr() string { return l.l.Addr().String() }
+
+// Accept waits for the next connection.
+func (l *Listener) Accept() (*Conn, error) {
+	raw, err := l.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return NewConn(raw), nil
+}
+
+// Close stops the listener; pending Accept calls fail.
+func (l *Listener) Close() error { return l.l.Close() }

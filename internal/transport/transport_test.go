@@ -1,0 +1,164 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+)
+
+func pipePair(t *testing.T) (*Conn, *Conn) {
+	t.Helper()
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	type res struct {
+		c   *Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := l.Accept()
+		ch <- res{c, err}
+	}()
+	client, err := Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	t.Cleanup(func() {
+		_ = client.Close()
+		_ = r.c.Close()
+	})
+	return client, r.c
+}
+
+func TestRoundTripAllKinds(t *testing.T) {
+	client, server := pipePair(t)
+	msgs := []*Msg{
+		{Kind: KindHello, From: 3, Bid: 1},
+		{Kind: KindClientUpdate, From: 3, Params: []float64{1.5, -2.5}, Age: 7},
+		{Kind: KindModelReply, From: 0, Params: []float64{0.1}, Age: 8, LR: 0.05},
+		{Kind: KindServerModel, From: 1, Params: []float64{9}, Age: 100.5, Bid: 4},
+		{Kind: KindAge, From: 2, Age: 55},
+		{Kind: KindToken, From: 0, Bid: 9, Ages: []float64{1, 2, 3}},
+		{Kind: KindShutdown, From: 0},
+	}
+	go func() {
+		for _, m := range msgs {
+			if err := client.Send(m); err != nil {
+				return
+			}
+		}
+	}()
+	for _, want := range msgs {
+		got, err := server.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Kind != want.Kind || got.From != want.From || got.Age != want.Age ||
+			got.LR != want.LR || got.Bid != want.Bid {
+			t.Fatalf("got %+v, want %+v", got, want)
+		}
+		if len(got.Params) != len(want.Params) || len(got.Ages) != len(want.Ages) {
+			t.Fatalf("payload lengths differ: %+v vs %+v", got, want)
+		}
+		for i := range want.Params {
+			if got.Params[i] != want.Params[i] {
+				t.Fatal("params corrupted")
+			}
+		}
+	}
+}
+
+func TestConcurrentSendsDoNotInterleave(t *testing.T) {
+	client, server := pipePair(t)
+	const n = 200
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				m := &Msg{Kind: KindAge, From: g, Age: float64(i)}
+				if err := client.Send(m); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	next := make(map[int]float64)
+	for i := 0; i < 4*n; i++ {
+		m, err := server.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Kind != KindAge {
+			t.Fatalf("corrupted frame: %+v", m)
+		}
+		// Per-sender FIFO: ages from one goroutine arrive in order.
+		if m.Age != next[m.From] {
+			t.Fatalf("sender %d out of order: got %v want %v", m.From, m.Age, next[m.From])
+		}
+		next[m.From]++
+	}
+	wg.Wait()
+}
+
+func TestRecvAfterCloseFails(t *testing.T) {
+	client, server := pipePair(t)
+	_ = client.Close()
+	if _, err := server.Recv(); err == nil {
+		t.Error("Recv on closed peer should fail")
+	}
+}
+
+func TestDialUnreachable(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Error("dialing a closed port should fail")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := []Kind{KindHello, KindClientUpdate, KindModelReply,
+		KindServerModel, KindAge, KindToken, KindShutdown}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Errorf("Kind %d has empty name", int(k))
+		}
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Error("unknown kind String")
+	}
+}
+
+// TestLargeModelPayload pushes a realistic full-size model frame (100k
+// float64 parameters, ~800 KB) through the gob framing.
+func TestLargeModelPayload(t *testing.T) {
+	client, server := pipePair(t)
+	params := make([]float64, 100_000)
+	for i := range params {
+		params[i] = float64(i) * 0.001
+	}
+	go func() {
+		_ = client.Send(&Msg{Kind: KindServerModel, From: 1, Params: params, Age: 5, Bid: 2})
+	}()
+	got, err := server.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Params) != len(params) {
+		t.Fatalf("payload truncated: %d of %d", len(got.Params), len(params))
+	}
+	for _, i := range []int{0, 1, 50_000, 99_999} {
+		if got.Params[i] != params[i] {
+			t.Fatalf("payload corrupted at %d", i)
+		}
+	}
+}
