@@ -7,12 +7,17 @@
 // Example:
 //
 //	spyker-live -servers 4 -clients 16 -duration 5s
+//	spyker-live -servers 2 -clients 8 -stats-every 1s -trace run.jsonl
+//	spyker-live -debug-addr 127.0.0.1:6060   # expvar + pprof while running
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"time"
 
@@ -20,6 +25,7 @@ import (
 	"github.com/spyker-fl/spyker/internal/fl"
 	"github.com/spyker-fl/spyker/internal/live"
 	"github.com/spyker-fl/spyker/internal/nn"
+	"github.com/spyker-fl/spyker/internal/obs"
 )
 
 func main() {
@@ -29,15 +35,20 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed")
 	peerLatency := flag.Duration("peer-latency", 0, "injected one-way latency on server-server links")
 	clientLatency := flag.Duration("client-latency", 0, "injected one-way latency on client links")
+	statsEvery := flag.Duration("stats-every", 0, "log a one-line per-server stats snapshot at this period (0 = off)")
+	tracePath := flag.String("trace", "", "write the protocol event trace to this JSONL file (see spyker-trace)")
+	debugAddr := flag.String("debug-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof) on this address while running")
 	flag.Parse()
 
-	if err := run(*servers, *clients, *duration, *seed, *peerLatency, *clientLatency); err != nil {
+	if err := run(*servers, *clients, *duration, *seed, *peerLatency, *clientLatency,
+		*statsEvery, *tracePath, *debugAddr); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(servers, clients int, duration time.Duration, seed int64, peerLat, clientLat time.Duration) error {
+func run(servers, clients int, duration time.Duration, seed int64, peerLat, clientLat time.Duration,
+	statsEvery time.Duration, tracePath, debugAddr string) error {
 	ds := data.GenerateImages(data.MNISTLike(10*clients, 300, seed))
 	factory := func(s int64) fl.Model {
 		rng := rand.New(rand.NewSource(s))
@@ -56,6 +67,27 @@ func run(servers, clients int, duration time.Duration, seed int64, peerLat, clie
 	hyper.HInter = 5
 	hyper.HIntra = 100
 
+	// Observability: a metrics registry always runs (it backs /debug/vars);
+	// the event tracer only when a trace file is requested.
+	reg := obs.NewRegistry()
+	var tracer *obs.Tracer
+	var sink obs.Sink
+	if tracePath != "" {
+		tracer = obs.NewTracer(0)
+		sink = tracer
+	}
+	if debugAddr != "" {
+		expvar.Publish("spyker", expvar.Func(func() any { return reg.Snapshot() }))
+		go func() {
+			// DefaultServeMux already carries /debug/pprof (via the pprof
+			// import) and /debug/vars (via expvar).
+			if err := http.ListenAndServe(debugAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "debug server: %v\n", err)
+			}
+		}()
+		fmt.Printf("debug endpoint: http://%s/debug/vars and /debug/pprof\n", debugAddr)
+	}
+
 	fmt.Printf("spyker-live: %d TCP servers, %d clients, %s\n", servers, clients, duration)
 	stats, err := live.RunCluster(live.ClusterConfig{
 		NumServers:    servers,
@@ -66,6 +98,10 @@ func run(servers, clients int, duration time.Duration, seed int64, peerLat, clie
 		Seed:          seed,
 		PeerLatency:   peerLat,
 		ClientLatency: clientLat,
+		Trace:         sink,
+		Metrics:       reg,
+		StatsEvery:    statsEvery,
+		StatsOut:      os.Stderr,
 	}, duration)
 	if err != nil {
 		return err
@@ -90,5 +126,21 @@ func run(servers, clients int, duration time.Duration, seed int64, peerLat, clie
 	loss, acc := eval.Evaluate()
 	fmt.Printf("global model after %s of real training: loss %.4f, accuracy %.1f%%\n",
 		duration, loss, 100*acc)
+
+	fmt.Printf("runtime metrics: %s\n", reg.StatsLine())
+	if tracer != nil {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := tracer.WriteJSONL(f); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("event trace (%d events) written to %s\n", tracer.Len(), tracePath)
+	}
 	return nil
 }

@@ -10,9 +10,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"github.com/spyker-fl/spyker/internal/experiments"
+	"github.com/spyker-fl/spyker/internal/obs"
 )
 
 func main() {
@@ -27,16 +29,18 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed")
 	uniform := flag.Bool("uniform-latency", false, "replace the AWS latency matrix with a uniform latency of equal average")
 	csvPath := flag.String("csv", "", "write the accuracy trace to this CSV file")
+	tracePath := flag.String("trace", "", "write the protocol event trace to this JSONL file (see spyker-trace)")
+	chromePath := flag.String("chrome", "", "write the protocol event trace as a Chrome trace_event file (chrome://tracing, Perfetto)")
 	flag.Parse()
 
-	if err := run(*alg, *task, *servers, *clients, *nonIID, *target, *horizon, *maxUpdates, *seed, *uniform, *csvPath); err != nil {
+	if err := run(*alg, *task, *servers, *clients, *nonIID, *target, *horizon, *maxUpdates, *seed, *uniform, *csvPath, *tracePath, *chromePath); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
 func run(alg, task string, servers, clients, nonIID int, target, horizon float64,
-	maxUpdates int, seed int64, uniform bool, csvPath string) error {
+	maxUpdates int, seed int64, uniform bool, csvPath, tracePath, chromePath string) error {
 	var t experiments.Task
 	switch task {
 	case "mnist":
@@ -60,6 +64,11 @@ func run(alg, task string, servers, clients, nonIID int, target, horizon float64
 	}
 	if uniform {
 		setup.Latency = experiments.UniformMeanLatency()
+	}
+	var tracer *obs.Tracer
+	if tracePath != "" || chromePath != "" {
+		tracer = obs.NewTracer(0)
+		setup.Trace = tracer
 	}
 	res, err := experiments.Run(alg, setup)
 	if err != nil {
@@ -97,5 +106,38 @@ func run(alg, task string, servers, clients, nonIID int, target, horizon float64
 		}
 		fmt.Printf("trace written to %s\n", csvPath)
 	}
+	if tracer != nil {
+		if dropped := tracer.Dropped(); dropped > 0 {
+			fmt.Fprintf(os.Stderr, "warning: event trace ring overflowed, oldest %d events dropped\n", dropped)
+		}
+		if tracePath != "" {
+			if err := writeEventFile(tracePath, tracer.WriteJSONL); err != nil {
+				return err
+			}
+			fmt.Printf("event trace (%d events) written to %s\n", tracer.Len(), tracePath)
+		}
+		if chromePath != "" {
+			events := tracer.Events()
+			if err := writeEventFile(chromePath, func(w io.Writer) error {
+				return obs.WriteChromeTrace(w, events)
+			}); err != nil {
+				return err
+			}
+			fmt.Printf("chrome trace written to %s (load in chrome://tracing or Perfetto)\n", chromePath)
+		}
+	}
 	return nil
+}
+
+// writeEventFile creates path and streams the trace into it via write.
+func writeEventFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }

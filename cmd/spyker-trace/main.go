@@ -1,0 +1,81 @@
+// Command spyker-trace summarizes a protocol event trace written by
+// spyker-sim -trace or spyker-live -trace: per-kind event counts, the
+// staleness histogram of aggregated client updates, per-server model-age
+// timelines, token ring round-trip times, and traffic totals. It can also
+// convert the JSONL trace into a Chrome trace_event file for
+// chrome://tracing or Perfetto.
+//
+// Example:
+//
+//	spyker-sim -alg spyker -horizon 20 -trace run.jsonl
+//	spyker-trace run.jsonl
+//	spyker-trace -chrome run.json run.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/spyker-fl/spyker/internal/obs"
+)
+
+func main() {
+	chromePath := flag.String("chrome", "", "also convert the trace to a Chrome trace_event file at this path")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: spyker-trace [-chrome out.json] <trace.jsonl>\n")
+		fmt.Fprintf(os.Stderr, "       spyker-trace reads stdin when no file is given\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if err := run(flag.Args(), *chromePath); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(paths []string, chromePath string) error {
+	var in io.Reader = os.Stdin
+	name := "stdin"
+	switch len(paths) {
+	case 0:
+	case 1:
+		f, err := os.Open(paths[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+		name = paths[0]
+	default:
+		return fmt.Errorf("spyker-trace: expected one trace file, got %d", len(paths))
+	}
+
+	events, err := obs.ReadJSONL(in)
+	if err != nil {
+		return fmt.Errorf("spyker-trace: read %s: %w", name, err)
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("spyker-trace: %s holds no events", name)
+	}
+
+	obs.Summarize(events).WriteText(os.Stdout)
+
+	if chromePath != "" {
+		f, err := os.Create(chromePath)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteChromeTrace(f, events); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\nchrome trace written to %s (load in chrome://tracing or Perfetto)\n", chromePath)
+	}
+	return nil
+}

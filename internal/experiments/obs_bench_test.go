@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/spyker-fl/spyker/internal/obs"
+)
+
+// BenchmarkObsOverhead measures the cost of the observability subsystem on
+// a full (small) Spyker emulation: "nop" runs with the default disabled
+// sink, "traced" with a ring-buffer tracer plus the derived-metrics sink
+// attached. The nop/traced ratio is recorded in EXPERIMENTS.md; the no-op
+// path must stay within a few percent of an uninstrumented build.
+func BenchmarkObsOverhead(b *testing.B) {
+	base := Setup{
+		Task: TaskMNIST, NumServers: 2, NumClients: 8,
+		NonIIDLabels: 2, Seed: 42, MaxUpdates: 300, Horizon: 60,
+	}
+	b.Run("nop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Run("spyker", base); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("traced", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			setup := base
+			setup.Trace = obs.NewTracer(0)
+			setup.Metrics = obs.NewRegistry()
+			if _, err := Run("spyker", setup); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

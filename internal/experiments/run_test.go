@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"testing"
+
+	"github.com/spyker-fl/spyker/internal/obs"
 )
 
 // TestAllAlgorithmsConverge is the end-to-end integration test: every
@@ -61,5 +63,56 @@ func TestRunDeterminism(t *testing.T) {
 	}
 	if a.BytesClientServer != b.BytesClientServer || a.BytesServerServer != b.BytesServerServer {
 		t.Error("byte accounting differs between identical runs")
+	}
+}
+
+// TestTracingDoesNotPerturbSimulation is the observability determinism
+// regression test: a run with full event tracing enabled must produce an
+// experiment trace byte-identical to the same run with the no-op sink.
+// Sinks are passive by contract (they only record), so attaching one can
+// never change what the simulator schedules.
+func TestTracingDoesNotPerturbSimulation(t *testing.T) {
+	setup := Setup{
+		Task: TaskMNIST, NumServers: 2, NumClients: 8,
+		NonIIDLabels: 2, Seed: 42, MaxUpdates: 300, Horizon: 60,
+	}
+	plain, err := Run("spyker", setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	traced := setup
+	tracer := obs.NewTracer(0)
+	traced.Trace = tracer
+	traced.Metrics = obs.NewRegistry()
+	instr, err := Run("spyker", traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if tracer.Total() == 0 {
+		t.Fatal("tracer saw no events — instrumentation is not wired")
+	}
+	if len(plain.Trace) != len(instr.Trace) {
+		t.Fatalf("trace lengths differ: %d plain vs %d traced", len(plain.Trace), len(instr.Trace))
+	}
+	for i := range plain.Trace {
+		if plain.Trace[i] != instr.Trace[i] {
+			t.Fatalf("trace point %d differs with tracing on: %+v vs %+v",
+				i, plain.Trace[i], instr.Trace[i])
+		}
+	}
+	if plain.FinalTime != instr.FinalTime || plain.Updates != instr.Updates {
+		t.Errorf("run outcome differs: %.6f/%d plain vs %.6f/%d traced",
+			plain.FinalTime, plain.Updates, instr.FinalTime, instr.Updates)
+	}
+	if plain.BytesClientServer != instr.BytesClientServer ||
+		plain.BytesServerServer != instr.BytesServerServer {
+		t.Error("byte accounting differs with tracing on")
+	}
+
+	// The registry must have filled from the derived metrics sink.
+	if v, ok := traced.Metrics.Snapshot()[obs.MetricUpdates].(int64); !ok || v == 0 {
+		t.Errorf("derived metric %s missing from registry", obs.MetricUpdates)
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"github.com/spyker-fl/spyker/internal/geo"
 	"github.com/spyker-fl/spyker/internal/metrics"
 	"github.com/spyker-fl/spyker/internal/nn"
+	"github.com/spyker-fl/spyker/internal/obs"
 	"github.com/spyker-fl/spyker/internal/simulation"
 )
 
@@ -116,6 +117,17 @@ type Setup struct {
 
 	// Hyper overrides the default paper hyper-parameters when non-nil.
 	Hyper *fl.Hyper
+
+	// Trace receives protocol and network events from the run
+	// (internal/obs); nil disables tracing. Sinks are passive, so the
+	// simulated schedule is identical with and without one (see
+	// TestTracingDoesNotPerturbSimulation).
+	Trace obs.Sink
+	// Metrics collects runtime counters/gauges/histograms; nil creates a
+	// private registry. When tracing is enabled the event stream is also
+	// bridged into the registry (staleness distribution, sync durations,
+	// byte totals) via obs.NewMetricsSink.
+	Metrics *obs.Registry
 }
 
 // withDefaults fills unset fields.
@@ -426,6 +438,19 @@ func BuildEnv(s Setup) (*fl.Env, *metrics.Recorder, error) {
 	rec.TargetAcc = s.TargetAcc
 	rec.MaxUpdate = s.MaxUpdates
 
+	reg := s.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	sim.Instrument(reg.Counter(obs.MetricSimEvents), reg.Gauge(obs.MetricSimQueueDepth))
+	// The metrics bridge rides along whenever tracing is on, so a traced
+	// run also fills the registry's protocol metrics.
+	sink := obs.Sink(obs.Nop{})
+	if s.Trace != nil && s.Trace.Enabled() {
+		sink = obs.Multi(s.Trace, obs.NewMetricsSink(reg))
+	}
+	net.Instrument(sink)
+
 	env := &fl.Env{
 		Sim:        sim,
 		Net:        net,
@@ -436,6 +461,8 @@ func BuildEnv(s Setup) (*fl.Env, *metrics.Recorder, error) {
 		Hyper:      hyper,
 		Observer:   rec,
 		Seed:       s.Seed,
+		Trace:      sink,
+		Metrics:    reg,
 	}
 	if s.Codec != nil {
 		env.Codec = s.Codec

@@ -11,6 +11,7 @@ import (
 
 	"github.com/spyker-fl/spyker/internal/compress"
 	"github.com/spyker-fl/spyker/internal/geo"
+	"github.com/spyker-fl/spyker/internal/obs"
 	"github.com/spyker-fl/spyker/internal/simulation"
 )
 
@@ -220,6 +221,15 @@ type Env struct {
 	Hyper          Hyper
 	Observer       Observer
 	Seed           int64
+
+	// Trace receives protocol events from the algorithm's actors
+	// (internal/obs); Validate installs the no-op sink when nil, so
+	// instrumentation sites can emit unconditionally behind an Enabled
+	// check. Sinks only record — they never perturb the schedule.
+	Trace obs.Sink
+	// Metrics is the runtime metrics registry; Validate installs an empty
+	// one when nil.
+	Metrics *obs.Registry
 }
 
 // ServerProcMultiplier optionally scales each server's processing
@@ -264,6 +274,12 @@ func (e *Env) Validate() error {
 	if e.Observer == nil {
 		e.Observer = NopObserver{}
 	}
+	if e.Trace == nil {
+		e.Trace = obs.Nop{}
+	}
+	if e.Metrics == nil {
+		e.Metrics = obs.NewRegistry()
+	}
 	return nil
 }
 
@@ -286,9 +302,10 @@ const AgeWireBytes = 24
 func TokenWireBytes(n int) int { return 16 + 8*n }
 
 // Endpoint builds the geo endpoint of server s. Server IDs are kept in a
-// distinct ID space from clients by offsetting them.
+// distinct ID space from clients by the obs.ServerNode offset, so message
+// traces name nodes unambiguously.
 func (e *Env) ServerEndpoint(s int) geo.Endpoint {
-	return geo.Endpoint{ID: 1_000_000 + s, Region: e.Servers[s].Region}
+	return geo.Endpoint{ID: obs.ServerNode + s, Region: e.Servers[s].Region}
 }
 
 // ClientEndpoint builds the geo endpoint of client c.

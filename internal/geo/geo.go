@@ -7,6 +7,7 @@ package geo
 import (
 	"fmt"
 
+	"github.com/spyker-fl/spyker/internal/obs"
 	"github.com/spyker-fl/spyker/internal/simulation"
 )
 
@@ -135,6 +136,8 @@ type Network struct {
 	lastDelivery map[linkKey]float64
 	transfers    []Transfer
 	totalBytes   map[Traffic]int
+
+	sink obs.Sink
 }
 
 type linkKey struct{ src, dst int }
@@ -161,7 +164,19 @@ func NewNetwork(sim *simulation.Sim, cfg Config) *Network {
 		bandwidth:    bw,
 		lastDelivery: make(map[linkKey]float64),
 		totalBytes:   make(map[Traffic]int),
+		sink:         obs.Nop{},
 	}
+}
+
+// Instrument makes the network emit obs.KindMsgSend at send time and
+// obs.KindMsgRecv at delivery time for every message (node IDs are the
+// endpoint IDs, so servers carry their 1e6 offset). The sink only
+// records; arrival times and FIFO order are untouched.
+func (n *Network) Instrument(sink obs.Sink) {
+	if sink == nil {
+		sink = obs.Nop{}
+	}
+	n.sink = sink
 }
 
 // Endpoint identifies a network attachment point: an integer node ID plus
@@ -187,6 +202,20 @@ func (n *Network) Send(src, dst Endpoint, size int, kind Traffic, deliver func()
 		arrive = last
 	}
 	n.lastDelivery[key] = arrive
+	if n.sink.Enabled() {
+		n.sink.Emit(obs.Event{
+			Time: n.sim.Now(), Kind: obs.KindMsgSend,
+			Node: src.ID, Peer: dst.ID, Bytes: size,
+		})
+		inner := deliver
+		deliver = func() {
+			n.sink.Emit(obs.Event{
+				Time: n.sim.Now(), Kind: obs.KindMsgRecv,
+				Node: dst.ID, Peer: src.ID, Bytes: size,
+			})
+			inner()
+		}
+	}
 	n.sim.ScheduleAt(arrive, deliver)
 }
 

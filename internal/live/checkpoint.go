@@ -5,10 +5,25 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
+	"github.com/spyker-fl/spyker/internal/obs"
 	"github.com/spyker-fl/spyker/internal/spyker"
 	"github.com/spyker-fl/spyker/internal/transport"
 )
+
+// countingWriter counts bytes passing through to w, so checkpoint events
+// can report the encoded snapshot size.
+type countingWriter struct {
+	w io.Writer
+	n int
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += n
+	return n, err
+}
 
 // WriteCheckpoint persists the server's full protocol state (model, ages,
 // token, decay counters) so a restarted process can resume where it left
@@ -17,8 +32,15 @@ func (s *Server) WriteCheckpoint(w io.Writer) error {
 	s.mu.Lock()
 	st := s.core.Snapshot()
 	s.mu.Unlock()
-	if err := gob.NewEncoder(w).Encode(st); err != nil {
+	cw := &countingWriter{w: w}
+	if err := gob.NewEncoder(cw).Encode(st); err != nil {
 		return fmt.Errorf("live: encode checkpoint: %w", err)
+	}
+	if s.sink.Enabled() {
+		s.sink.Emit(obs.Event{
+			Time: s.clock(), Kind: obs.KindCheckpoint,
+			Node: s.ID, Peer: obs.NoPeer, Bytes: cw.n, Age: st.Age,
+		})
 	}
 	return nil
 }
@@ -67,6 +89,10 @@ func NewServerFromCheckpoint(addr string, st spyker.State) (*Server, error) {
 		clients:  make(map[int]*outbox),
 		peers:    make([]*outbox, st.Config.NumServers),
 		clientLR: st.Config.ClientLR,
+		sink:     obs.Nop{},
+		clock:    obs.WallClock(time.Now()),
+		txPeer:   make(map[int]*obs.Counter),
+		rxPeer:   make(map[int]*obs.Counter),
 	}
 	core, err := spyker.RestoreServerCore(st, (*serverOutbound)(s))
 	if err != nil {

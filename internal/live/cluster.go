@@ -2,11 +2,13 @@ package live
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"sync"
 	"time"
 
 	"github.com/spyker-fl/spyker/internal/fl"
+	"github.com/spyker-fl/spyker/internal/obs"
 	"github.com/spyker-fl/spyker/internal/spyker"
 )
 
@@ -24,6 +26,18 @@ type ClusterConfig struct {
 	// deployment behaves like a geo-distributed one.
 	PeerLatency   time.Duration
 	ClientLatency time.Duration
+
+	// Trace receives every server's protocol and message events
+	// (internal/obs); nil disables tracing. Metrics, when non-nil, collects
+	// runtime counters/gauges/histograms from all servers into one
+	// registry.
+	Trace   obs.Sink
+	Metrics *obs.Registry
+
+	// StatsEvery > 0 logs a one-line per-server stats snapshot to StatsOut
+	// at that period while the cluster runs (StatsOut nil = discard).
+	StatsEvery time.Duration
+	StatsOut   io.Writer
 }
 
 // ClusterStats summarizes a finished live run.
@@ -62,6 +76,18 @@ func RunCluster(cfg ClusterConfig, duration time.Duration) (*ClusterStats, error
 	initial := cfg.NewModel(cfg.Seed).Params()
 	perServer := cfg.NumClients / cfg.NumServers
 
+	// Compose the observability sink shared by all servers: the caller's
+	// trace plus (when a registry is given) a metrics deriver, so counters
+	// like staleness and byte totals fill automatically from the events.
+	sink := obs.Sink(nil)
+	if cfg.Trace != nil || cfg.Metrics != nil {
+		if cfg.Metrics != nil {
+			sink = obs.Multi(cfg.Trace, obs.NewMetricsSink(cfg.Metrics))
+		} else {
+			sink = cfg.Trace
+		}
+	}
+
 	servers := make([]*Server, cfg.NumServers)
 	addrs := make([]string, cfg.NumServers)
 	for i := range servers {
@@ -89,6 +115,9 @@ func RunCluster(cfg ClusterConfig, duration time.Duration) (*ClusterStats, error
 			return nil, err
 		}
 		srv.InjectLatency(cfg.PeerLatency, cfg.ClientLatency)
+		if sink != nil || cfg.Metrics != nil {
+			srv.Instrument(sink, cfg.Metrics)
+		}
 		servers[i] = srv
 		addrs[i] = srv.Addr()
 	}
@@ -121,7 +150,31 @@ func RunCluster(cfg ClusterConfig, duration time.Duration) (*ClusterStats, error
 		}()
 	}
 
+	// Periodic one-line stats log, the live runtime's progress heartbeat.
+	stopStats := make(chan struct{})
+	var statsWG sync.WaitGroup
+	if cfg.StatsEvery > 0 && cfg.StatsOut != nil {
+		statsWG.Add(1)
+		go func() {
+			defer statsWG.Done()
+			tick := time.NewTicker(cfg.StatsEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopStats:
+					return
+				case <-tick.C:
+					for _, srv := range servers {
+						fmt.Fprintln(cfg.StatsOut, srv.StatsLine())
+					}
+				}
+			}
+		}()
+	}
+
 	time.Sleep(duration)
+	close(stopStats)
+	statsWG.Wait()
 	closeAll(servers)
 	wg.Wait()
 

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/spyker-fl/spyker/internal/obs"
 	"github.com/spyker-fl/spyker/internal/spyker"
 	"github.com/spyker-fl/spyker/internal/transport"
 )
@@ -95,6 +96,18 @@ type Server struct {
 	clientDelay time.Duration // injected one-way latency on client links
 	updates     atomic.Int64
 
+	// Observability (see Instrument). sink/clock default to no-ops; the
+	// byte totals are always maintained (they are two atomic adds per
+	// frame). txPeer/rxPeer cache per-remote registry counters; both maps
+	// are only touched under mu.
+	sink    obs.Sink
+	clock   obs.Clock
+	reg     *obs.Registry
+	txPeer  map[int]*obs.Counter
+	rxPeer  map[int]*obs.Counter
+	txBytes atomic.Int64
+	rxBytes atomic.Int64
+
 	wg      sync.WaitGroup
 	closing atomic.Bool
 }
@@ -113,11 +126,88 @@ func NewServer(id int, addr string, cfg spyker.Config, initial []float64, holdsT
 		clients:  make(map[int]*outbox),
 		peers:    make([]*outbox, cfg.NumServers),
 		clientLR: cfg.ClientLR,
+		sink:     obs.Nop{},
+		clock:    obs.WallClock(time.Now()),
+		txPeer:   make(map[int]*obs.Counter),
+		rxPeer:   make(map[int]*obs.Counter),
 	}
 	s.core = spyker.NewServerCore(cfg, initial, holdsToken, (*serverOutbound)(s))
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
+}
+
+// Instrument attaches an event sink and/or metrics registry. The core's
+// protocol events and this server's frame send/recv events go to sink,
+// stamped with wall seconds since the server started; per-remote byte
+// counters land in reg under "live.server<ID>.{tx,rx}_bytes.<node>".
+// Call before ConnectPeers and before any client connects.
+func (s *Server) Instrument(sink obs.Sink, reg *obs.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sink == nil {
+		sink = obs.Nop{}
+	}
+	s.sink = sink
+	s.reg = reg
+	s.core.Instrument(sink, s.clock)
+}
+
+// noteSend records one outgoing frame to the remote node (an
+// obs.ServerNode-offset server ID or a raw client ID). Callers hold s.mu
+// (the counter maps) — true for every enqueue site.
+func (s *Server) noteSend(remote int, m *transport.Msg) {
+	size := transport.MsgWireBytes(m)
+	s.txBytes.Add(int64(size))
+	if s.reg != nil {
+		c, ok := s.txPeer[remote]
+		if !ok {
+			c = s.reg.Counter(fmt.Sprintf("live.server%d.tx_bytes.%s", s.ID, obs.NodeName(remote)))
+			s.txPeer[remote] = c
+		}
+		c.Add(int64(size))
+	}
+	if s.sink.Enabled() {
+		s.sink.Emit(obs.Event{
+			Time: s.clock(), Kind: obs.KindMsgSend,
+			Node: obs.ServerNode + s.ID, Peer: remote, Bytes: size, Note: m.Kind.String(),
+		})
+	}
+}
+
+// noteRecv records one incoming frame from the remote node; callers hold
+// s.mu.
+func (s *Server) noteRecv(remote int, m *transport.Msg) {
+	size := transport.MsgWireBytes(m)
+	s.rxBytes.Add(int64(size))
+	if s.reg != nil {
+		c, ok := s.rxPeer[remote]
+		if !ok {
+			c = s.reg.Counter(fmt.Sprintf("live.server%d.rx_bytes.%s", s.ID, obs.NodeName(remote)))
+			s.rxPeer[remote] = c
+		}
+		c.Add(int64(size))
+	}
+	if s.sink.Enabled() {
+		s.sink.Emit(obs.Event{
+			Time: s.clock(), Kind: obs.KindMsgRecv,
+			Node: obs.ServerNode + s.ID, Peer: remote, Bytes: size, Note: m.Kind.String(),
+		})
+	}
+}
+
+// StatsLine renders a one-line snapshot of this server's runtime state,
+// the unit of the live runtime's periodic stats log.
+func (s *Server) StatsLine() string {
+	s.mu.Lock()
+	age := s.core.Age()
+	syncs := s.core.SyncsTriggered()
+	joined := s.core.SyncsJoined()
+	clients := len(s.clients)
+	s.mu.Unlock()
+	return fmt.Sprintf("server %d: updates=%d age=%.1f syncs=%d/%d clients=%d tx=%.2fMB rx=%.2fMB",
+		s.ID, s.updates.Load(), age, syncs, joined, clients,
+		float64(s.txBytes.Load())/1e6, float64(s.rxBytes.Load())/1e6)
 }
 
 // Addr reports the server's listen address.
@@ -262,13 +352,15 @@ func (s *Server) registerClient(id int, conn *transport.Conn) {
 	ob := newOutbox(conn, s.clientDelay)
 	s.clients[id] = ob
 	// Hand the client the current model so it can start training.
-	ob.enqueue(&transport.Msg{
+	m := &transport.Msg{
 		Kind:   transport.KindModelReply,
 		From:   s.ID,
 		Params: append([]float64(nil), s.core.Params()...),
 		Age:    s.core.Age(),
 		LR:     s.clientLR,
-	})
+	}
+	s.noteSend(id, m)
+	ob.enqueue(m)
 }
 
 func (s *Server) dispatch(m *transport.Msg) {
@@ -279,13 +371,17 @@ func (s *Server) dispatch(m *transport.Msg) {
 	}
 	switch m.Kind {
 	case transport.KindClientUpdate:
+		s.noteRecv(m.From, m)
 		s.core.HandleClientUpdate(m.From, m.Params, m.Age)
 		s.updates.Add(1)
 	case transport.KindServerModel:
+		s.noteRecv(obs.ServerNode+m.From, m)
 		s.core.HandleServerModel(m.From, m.Params, m.Age, m.Bid)
 	case transport.KindAge:
+		s.noteRecv(obs.ServerNode+m.From, m)
 		s.core.HandleAge(m.From, m.Age)
 	case transport.KindToken:
+		s.noteRecv(obs.ServerNode+m.From, m)
 		s.core.HandleToken(spyker.Token{Bid: m.Bid, Ages: m.Ages})
 	}
 }
@@ -298,10 +394,12 @@ var _ spyker.Outbound = (*serverOutbound)(nil)
 
 func (o *serverOutbound) ReplyClient(k int, params []float64, age, lr float64) {
 	if c, ok := o.clients[k]; ok {
-		c.enqueue(&transport.Msg{
+		m := &transport.Msg{
 			Kind: transport.KindModelReply, From: o.ID,
 			Params: params, Age: age, LR: lr,
-		})
+		}
+		(*Server)(o).noteSend(k, m)
+		c.enqueue(m)
 	}
 }
 
@@ -310,10 +408,12 @@ func (o *serverOutbound) BroadcastModel(params []float64, age float64, bid int) 
 		if p == nil || id == o.ID {
 			continue
 		}
-		p.enqueue(&transport.Msg{
+		m := &transport.Msg{
 			Kind: transport.KindServerModel, From: o.ID,
 			Params: params, Age: age, Bid: bid,
-		})
+		}
+		(*Server)(o).noteSend(obs.ServerNode+id, m)
+		p.enqueue(m)
 	}
 }
 
@@ -322,14 +422,18 @@ func (o *serverOutbound) BroadcastAge(age float64) {
 		if p == nil || id == o.ID {
 			continue
 		}
-		p.enqueue(&transport.Msg{Kind: transport.KindAge, From: o.ID, Age: age})
+		m := &transport.Msg{Kind: transport.KindAge, From: o.ID, Age: age}
+		(*Server)(o).noteSend(obs.ServerNode+id, m)
+		p.enqueue(m)
 	}
 }
 
 func (o *serverOutbound) SendToken(t spyker.Token, next int) {
 	if p := o.peers[next]; p != nil {
-		p.enqueue(&transport.Msg{
+		m := &transport.Msg{
 			Kind: transport.KindToken, From: o.ID, Bid: t.Bid, Ages: t.Ages,
-		})
+		}
+		(*Server)(o).noteSend(obs.ServerNode+next, m)
+		p.enqueue(m)
 	}
 }

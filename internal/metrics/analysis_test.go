@@ -106,3 +106,81 @@ func TestConvergenceRate(t *testing.T) {
 		t.Error("degenerate traces should return 0")
 	}
 }
+
+// TestValueAtBoundaries pins the edge behaviour of the step
+// interpolation: empty traces, exact sample-time hits, and duplicate
+// timestamps (the last sample at a tied time wins, matching the
+// emission order of equal-timestamp simulator events).
+func TestValueAtBoundaries(t *testing.T) {
+	if v, ok := ValueAt(nil, 1); ok || v != 0 {
+		t.Errorf("empty trace: %v,%v, want 0,false", v, ok)
+	}
+	if v, ok := ValueAt(Trace{}, 0); ok || v != 0 {
+		t.Errorf("zero-length trace: %v,%v, want 0,false", v, ok)
+	}
+
+	tr := linearTrace([]float64{1, 2, 3}, []float64{0.1, 0.5, 0.9})
+	// Exact hits take the sample at that time, not the previous one.
+	if v, ok := ValueAt(tr, 1); !ok || v != 0.1 {
+		t.Errorf("ValueAt(first sample) = %v,%v, want 0.1,true", v, ok)
+	}
+	if v, ok := ValueAt(tr, 3); !ok || v != 0.9 {
+		t.Errorf("ValueAt(last sample) = %v,%v, want 0.9,true", v, ok)
+	}
+
+	// Duplicate timestamps: the later entry at the tied time holds.
+	dup := linearTrace([]float64{1, 2, 2, 3}, []float64{0.1, 0.4, 0.6, 0.9})
+	if v, _ := ValueAt(dup, 2); v != 0.6 {
+		t.Errorf("tied timestamps: ValueAt(2) = %v, want 0.6 (last wins)", v)
+	}
+	if v, _ := ValueAt(dup, 2.5); v != 0.6 {
+		t.Errorf("after tie: ValueAt(2.5) = %v, want 0.6", v)
+	}
+
+	// Single-point trace.
+	one := Trace{{Time: 5, Acc: 0.7}}
+	if v, ok := ValueAt(one, 4.999); ok || v != 0 {
+		t.Errorf("before single point: %v,%v, want 0,false", v, ok)
+	}
+	if v, ok := ValueAt(one, 5); !ok || v != 0.7 {
+		t.Errorf("at single point: %v,%v, want 0.7,true", v, ok)
+	}
+}
+
+// TestCrossoverBoundaries covers the degenerate comparisons: empty
+// traces on either side, identical traces (never strictly ahead), exact
+// ties at every sample, and a comparison trace that starts before the
+// candidate has begun.
+func TestCrossoverBoundaries(t *testing.T) {
+	tr := linearTrace([]float64{1, 2}, []float64{0.5, 0.8})
+	if _, ok := Crossover(nil, nil); ok {
+		t.Error("two empty traces crossed")
+	}
+	if _, ok := Crossover(tr, nil); ok {
+		t.Error("crossover against an empty reference")
+	}
+	if _, ok := Crossover(nil, tr); ok {
+		t.Error("empty candidate crossed")
+	}
+
+	// Identical traces tie everywhere; ties are not "strictly ahead".
+	if at, ok := Crossover(tr, tr); ok {
+		t.Errorf("identical traces crossed at %v", at)
+	}
+
+	// b's first samples predate a: those comparison points are skipped,
+	// and the crossover lands on the first b-sample where a has begun and
+	// leads.
+	a := linearTrace([]float64{2, 3}, []float64{0.9, 0.95})
+	b := linearTrace([]float64{1, 2, 3}, []float64{0.3, 0.4, 0.5})
+	at, ok := Crossover(a, b)
+	if !ok || at != 2 {
+		t.Errorf("late-start crossover = %v,%v, want 2,true", at, ok)
+	}
+
+	// A candidate that only ever ties at shared times never crosses.
+	tie := linearTrace([]float64{1, 2}, []float64{0.5, 0.8})
+	if _, ok := Crossover(tie, tr); ok {
+		t.Error("tie-everywhere candidate crossed")
+	}
+}

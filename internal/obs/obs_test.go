@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestKindJSONRoundtrip(t *testing.T) {
+	for k := KindClientUpdate; k <= KindCheckpoint; k++ {
+		b, err := json.Marshal(k)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", k, err)
+		}
+		var back EventKind
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if back != k {
+			t.Fatalf("roundtrip %v -> %v", k, back)
+		}
+	}
+	var bad EventKind
+	if err := json.Unmarshal([]byte(`"no-such-kind"`), &bad); err == nil {
+		t.Fatal("unknown kind name must fail to unmarshal")
+	}
+	if _, err := json.Marshal(EventKind(99)); err == nil {
+		t.Fatal("unknown kind value must fail to marshal")
+	}
+}
+
+func TestNopDisabled(t *testing.T) {
+	var s Sink = Nop{}
+	if s.Enabled() {
+		t.Fatal("Nop must report disabled")
+	}
+	s.Emit(Event{}) // must not panic
+}
+
+func TestMultiCollapses(t *testing.T) {
+	if _, ok := Multi().(Nop); !ok {
+		t.Fatal("empty Multi must be Nop")
+	}
+	if _, ok := Multi(nil, Nop{}, nil).(Nop); !ok {
+		t.Fatal("Multi of nop/nil must be Nop")
+	}
+	tr := NewTracer(8)
+	if got := Multi(Nop{}, tr); got != Sink(tr) {
+		t.Fatal("single live sink must be returned unwrapped")
+	}
+	tr2 := NewTracer(8)
+	m := Multi(tr, tr2)
+	if !m.Enabled() {
+		t.Fatal("multi of live sinks must be enabled")
+	}
+	m.Emit(Event{Kind: KindTokenPass, Peer: NoPeer})
+	if tr.Len() != 1 || tr2.Len() != 1 {
+		t.Fatalf("fanout missed a sink: %d/%d", tr.Len(), tr2.Len())
+	}
+}
+
+func TestTracerRingWraparound(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(Event{Time: float64(i), Kind: KindMsgSend, Node: i, Peer: NoPeer})
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", tr.Total())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", tr.Dropped())
+	}
+	evs := tr.Events()
+	for i, e := range evs {
+		if want := 6 + i; e.Node != want {
+			t.Fatalf("event %d has node %d, want %d (oldest-first order)", i, e.Node, want)
+		}
+	}
+	tr.Reset()
+	if tr.Len() != 0 || tr.Total() != 0 {
+		t.Fatal("Reset must clear the buffer")
+	}
+}
+
+func TestTracerConcurrentEmit(t *testing.T) {
+	tr := NewTracer(1024)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Emit(Event{Kind: KindMsgRecv, Node: g, Peer: i})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tr.Total() != 800 {
+		t.Fatalf("Total = %d, want 800", tr.Total())
+	}
+}
+
+func TestJSONLRoundtrip(t *testing.T) {
+	tr := NewTracer(16)
+	want := []Event{
+		{Time: 0.5, Kind: KindClientUpdate, Node: 1, Peer: 7, Age: 3, Stale: 1.5},
+		{Time: 1.25, Kind: KindTokenPass, Node: 0, Peer: 1, Bid: 4},
+		{Time: 2, Kind: KindMsgSend, Node: 1_000_000, Peer: 3, Bytes: 4096},
+		{Time: 3, Kind: KindSyncStart, Node: 2, Peer: NoPeer, Bid: 5, Note: "trigger"},
+	}
+	for _, e := range want {
+		tr.Emit(e)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadJSONLSkipsBlankAndRejectsGarbage(t *testing.T) {
+	in := "{\"t\":1,\"kind\":\"msg-send\",\"node\":0,\"peer\":1}\n\n"
+	evs, err := ReadJSONL(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 {
+		t.Fatalf("got %d events, want 1", len(evs))
+	}
+	if _, err := ReadJSONL(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("garbage line must error")
+	}
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("c") != c {
+		t.Fatal("Counter must return the same handle for the same name")
+	}
+	g := r.Gauge("g")
+	g.Set(2.5)
+	if g.Value() != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	counts := h.BucketCounts()
+	// <=1: 0.5 and 1; <=2: 1.5; <=4: 3; overflow: 100.
+	want := []int64{2, 1, 1, 1}
+	for i, w := range want {
+		if counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (%v)", i, counts[i], w, counts)
+		}
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got := h.Sum(); got != 106 {
+		t.Fatalf("sum = %v, want 106", got)
+	}
+	if got := h.Quantile(0.5); got != 2 {
+		t.Fatalf("p50 = %v, want 2", got)
+	}
+	if got := h.Quantile(1); got != 4 {
+		t.Fatalf("p100 = %v, want 4 (overflow reports last bound)", got)
+	}
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-ascending bounds must panic")
+		}
+	}()
+	NewHistogram([]float64{1, 1})
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Counter("shared").Inc()
+				r.Histogram("h", nil).Observe(float64(i))
+				r.Gauge("g").Set(float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 1600 {
+		t.Fatalf("counter = %d, want 1600", got)
+	}
+	if got := r.Histogram("h", nil).Count(); got != 1600 {
+		t.Fatalf("histogram count = %d, want 1600", got)
+	}
+}
+
+func TestSnapshotAndStatsLine(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.count").Add(3)
+	r.Gauge("b.depth").Set(7)
+	r.Histogram("c.lat", []float64{1, 10}).Observe(0.5)
+	snap := r.Snapshot()
+	if snap["a.count"] != int64(3) {
+		t.Fatalf("snapshot counter = %v", snap["a.count"])
+	}
+	line := r.StatsLine()
+	for _, want := range []string{"a.count=3", "b.depth=7", "c.lat{"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("stats line %q missing %q", line, want)
+		}
+	}
+}
+
+func TestMetricsSinkDerivesMetrics(t *testing.T) {
+	r := NewRegistry()
+	ms := NewMetricsSink(r)
+	if !ms.Enabled() {
+		t.Fatal("metrics sink must be enabled")
+	}
+	ms.Emit(Event{Time: 1, Kind: KindClientUpdate, Node: 0, Peer: 5, Age: 2, Stale: 3})
+	ms.Emit(Event{Time: 1.5, Kind: KindServerAgg, Node: 0, Peer: 1, Age: 2.5})
+	ms.Emit(Event{Time: 2, Kind: KindSyncStart, Node: 0, Bid: 1, Note: "trigger"})
+	ms.Emit(Event{Time: 2.75, Kind: KindSyncEnd, Node: 0, Bid: 1})
+	ms.Emit(Event{Time: 3, Kind: KindTokenPass, Node: 0, Peer: 1, Bid: 2})
+	ms.Emit(Event{Time: 3, Kind: KindMsgSend, Node: 0, Peer: 1, Bytes: 100})
+	ms.Emit(Event{Time: 3.1, Kind: KindMsgRecv, Node: 1, Peer: 0, Bytes: 100})
+	ms.Emit(Event{Time: 4, Kind: KindCheckpoint, Node: 0, Bytes: 999})
+
+	if got := r.Counter(MetricUpdates).Value(); got != 1 {
+		t.Fatalf("updates = %d", got)
+	}
+	if got := r.Histogram(MetricStaleness, nil).Mean(); got != 3 {
+		t.Fatalf("staleness mean = %v, want 3", got)
+	}
+	h := r.Histogram(MetricSyncDuration, nil)
+	if h.Count() != 1 {
+		t.Fatalf("sync duration count = %d, want 1", h.Count())
+	}
+	if got := h.Sum(); got < 0.74 || got > 0.76 {
+		t.Fatalf("sync duration = %v, want 0.75", got)
+	}
+	if got := r.Counter(MetricBytesSent).Value(); got != 100 {
+		t.Fatalf("bytes sent = %d", got)
+	}
+	if got := r.Counter(MetricCheckpoints).Value(); got != 1 {
+		t.Fatalf("checkpoints = %d", got)
+	}
+	// A SyncEnd without a matching start must not record a duration.
+	ms.Emit(Event{Time: 9, Kind: KindSyncEnd, Node: 3, Bid: 7})
+	if h.Count() != 1 {
+		t.Fatal("unmatched sync-end must be ignored")
+	}
+}

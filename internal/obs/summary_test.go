@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// syntheticTrace builds a tiny two-server run: client updates with
+// varying staleness, a sync round, and three token passes by node 0.
+func syntheticTrace() []Event {
+	return []Event{
+		{Time: 0.1, Kind: KindMsgSend, Node: 5, Peer: 1_000_000, Bytes: 1000},
+		{Time: 0.3, Kind: KindMsgRecv, Node: 1_000_000, Peer: 5, Bytes: 1000},
+		{Time: 0.3, Kind: KindClientUpdate, Node: 0, Peer: 5, Age: 1, Stale: 0},
+		{Time: 0.6, Kind: KindClientUpdate, Node: 0, Peer: 6, Age: 2, Stale: 1},
+		{Time: 0.9, Kind: KindClientUpdate, Node: 1, Peer: 7, Age: 1, Stale: 5},
+		{Time: 1.0, Kind: KindSyncStart, Node: 0, Bid: 2, Note: "trigger"},
+		{Time: 1.2, Kind: KindServerAgg, Node: 0, Peer: 1, Age: 1.5, Stale: -1},
+		{Time: 1.3, Kind: KindSyncEnd, Node: 0, Bid: 2},
+		{Time: 1.3, Kind: KindTokenPass, Node: 0, Peer: 1, Bid: 2},
+		{Time: 2.3, Kind: KindTokenPass, Node: 0, Peer: 1, Bid: 4},
+		{Time: 3.8, Kind: KindTokenPass, Node: 0, Peer: 1, Bid: 6},
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(syntheticTrace())
+	if s.Events != 11 {
+		t.Fatalf("events = %d, want 11", s.Events)
+	}
+	if s.Span != [2]float64{0.1, 3.8} {
+		t.Fatalf("span = %v", s.Span)
+	}
+	if s.Counts[KindClientUpdate] != 3 || s.Counts[KindTokenPass] != 3 {
+		t.Fatalf("counts = %v", s.Counts)
+	}
+	if len(s.Servers) != 2 || s.Servers[0] != 0 || s.Servers[1] != 1 {
+		t.Fatalf("servers = %v", s.Servers)
+	}
+	// Node 0's age series: 1 -> 2 -> 1.5 (two updates plus the merge).
+	if got := s.AgeSeries[0]; len(got) != 3 || got[2].Age != 1.5 {
+		t.Fatalf("age series node 0 = %v", got)
+	}
+	if s.StalenessMean != 2 {
+		t.Fatalf("staleness mean = %v, want 2", s.StalenessMean)
+	}
+	if s.StalenessMax != 5 {
+		t.Fatalf("staleness max = %v, want 5", s.StalenessMax)
+	}
+	rtt, ok := s.TokenRTT[0]
+	if !ok || rtt.Count != 2 {
+		t.Fatalf("token RTT = %+v", s.TokenRTT)
+	}
+	if math.Abs(rtt.Min-1.0) > 1e-9 || math.Abs(rtt.Max-1.5) > 1e-9 || math.Abs(rtt.Mean-1.25) > 1e-9 {
+		t.Fatalf("rtt stats = %+v", rtt)
+	}
+	if s.BytesSent != 1000 || s.BytesRecv != 1000 {
+		t.Fatalf("bytes = %d/%d", s.BytesSent, s.BytesRecv)
+	}
+	if s.SyncRounds != 1 {
+		t.Fatalf("sync rounds = %d", s.SyncRounds)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Events != 0 || len(s.Servers) != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	var buf bytes.Buffer
+	s.WriteText(&buf) // must not panic on an empty trace
+}
+
+func TestWriteTextMentionsSections(t *testing.T) {
+	var buf bytes.Buffer
+	Summarize(syntheticTrace()).WriteText(&buf)
+	out := buf.String()
+	for _, want := range []string{"staleness", "age timeline", "token ring round-trips", "traffic"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDownsampleKeepsEndpoints(t *testing.T) {
+	pts := make([]AgePoint, 100)
+	for i := range pts {
+		pts[i] = AgePoint{Time: float64(i), Age: float64(i)}
+	}
+	out := downsample(pts, 8)
+	if len(out) != 8 {
+		t.Fatalf("len = %d, want 8", len(out))
+	}
+	if out[0] != pts[0] || out[7] != pts[99] {
+		t.Fatalf("endpoints not preserved: %v .. %v", out[0], out[7])
+	}
+	if got := downsample(pts[:3], 8); len(got) != 3 {
+		t.Fatal("short series must pass through")
+	}
+}
+
+func TestWriteChromeTraceIsValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, syntheticTrace()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			TS    float64 `json:"ts"`
+			PID   int     `json:"pid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	var begins, ends, counters int
+	for _, e := range doc.TraceEvents {
+		switch e.Phase {
+		case "B":
+			begins++
+		case "E":
+			ends++
+		case "C":
+			counters++
+		}
+	}
+	if begins != 1 || ends != 1 {
+		t.Fatalf("sync slice not exported: B=%d E=%d", begins, ends)
+	}
+	if counters != 4 { // one age counter sample per update/agg
+		t.Fatalf("age counter samples = %d, want 4", counters)
+	}
+	// Times must be microseconds.
+	if doc.TraceEvents[0].TS != 0.1*1e6 {
+		t.Fatalf("ts = %v, want %v", doc.TraceEvents[0].TS, 0.1*1e6)
+	}
+}

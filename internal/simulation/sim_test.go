@@ -178,3 +178,50 @@ func TestOrderProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestStopLeavesQueueIntact pins the draining contract of Stop: the
+// remaining events stay queued (Pending), the clock freezes at the last
+// dispatched event instead of jumping to the horizon, and a later Run
+// drains exactly the leftovers in time order.
+func TestStopLeavesQueueIntact(t *testing.T) {
+	s := New()
+	var order []float64
+	for i := 1; i <= 8; i++ {
+		tm := float64(i)
+		s.Schedule(tm, func() {
+			order = append(order, tm)
+			if tm == 3 {
+				s.Stop()
+			}
+		})
+	}
+
+	end := s.Run(100)
+	if end != 3 || s.Now() != 3 {
+		t.Errorf("stopped run ended at %v (Now %v), want 3 — must not advance to horizon", end, s.Now())
+	}
+	if s.Pending() != 5 {
+		t.Errorf("Pending() = %d after Stop, want 5 queued events", s.Pending())
+	}
+	if s.Processed() != 3 {
+		t.Errorf("Processed() = %d, want 3", s.Processed())
+	}
+
+	// Resume drains the leftovers in order; nothing was lost or reordered.
+	s.Run(100)
+	want := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	if len(order) != len(want) {
+		t.Fatalf("drained %d events total, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("event %d ran at %v, want %v", i, order[i], want[i])
+		}
+	}
+	if s.Pending() != 0 {
+		t.Errorf("queue not empty after resume: %d", s.Pending())
+	}
+	if s.Processed() != 8 {
+		t.Errorf("Processed() = %d after resume, want 8", s.Processed())
+	}
+}

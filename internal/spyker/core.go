@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/spyker-fl/spyker/internal/obs"
 	"github.com/spyker-fl/spyker/internal/tensor"
 )
 
@@ -103,6 +104,12 @@ type ServerCore struct {
 
 	syncsTriggered int
 	syncsJoined    int
+
+	// Observability (see Instrument): sink receives protocol events
+	// stamped with clock(). Defaults to the no-op sink and a zero clock,
+	// so an uninstrumented core pays one interface call per handler.
+	sink  obs.Sink
+	clock obs.Clock
 }
 
 // NewServerCore creates a server with the given initial model. If
@@ -124,12 +131,33 @@ func NewServerCore(cfg Config, initial []float64, holdsToken bool, out Outbound)
 		cnt:          make(map[int]int),
 		updates:      make(map[int]int),
 		rates:        make(map[int]float64),
+		sink:         obs.Nop{},
+		clock:        zeroClock,
 	}
 	if holdsToken {
 		s.token = &Token{Bid: 1, Ages: make([]float64, cfg.NumServers)}
 		s.hasToken = true
 	}
 	return s
+}
+
+// zeroClock stamps events of an uninstrumented core.
+func zeroClock() float64 { return 0 }
+
+// Instrument attaches an observability sink and the clock that stamps its
+// events (the simulator passes virtual time, the live runtime wall time
+// since start). Nil arguments restore the defaults. Call before the first
+// handler runs; the core emits KindClientUpdate, KindServerAgg,
+// KindSyncStart/KindSyncEnd, and KindTokenPass events.
+func (s *ServerCore) Instrument(sink obs.Sink, clock obs.Clock) {
+	if sink == nil {
+		sink = obs.Nop{}
+	}
+	if clock == nil {
+		clock = zeroClock
+	}
+	s.sink = sink
+	s.clock = clock
 }
 
 // Params returns the live parameter vector (callers must not modify).
@@ -227,11 +255,18 @@ func (s *ServerCore) HandleClientUpdate(k int, params []float64, clientAge float
 	if s.cfg.DecayEnabled && s.cfg.ClientLR > 0 {
 		damp = lr / s.cfg.ClientLR
 	}
+	staleness := s.age - clientAge
 	wk := StalenessWeight(s.age, clientAge)
 	s.applyClientDelta(params, s.cfg.EtaServer*wk*damp)
 	s.age++
 	s.ages[s.cfg.ID] = s.age
 
+	if s.sink.Enabled() {
+		s.sink.Emit(obs.Event{
+			Time: s.clock(), Kind: obs.KindClientUpdate,
+			Node: s.cfg.ID, Peer: k, Age: s.age, Stale: staleness,
+		})
+	}
 	s.out.ReplyClient(k, tensor.Clone(s.w), s.age, lr)
 	s.checkSynchronization()
 }
@@ -330,9 +365,15 @@ func (s *ServerCore) HandleServerModel(j int, params []float64, age float64, bid
 		s.didBroadcast[bid] = true
 		s.agePrev = s.age
 		s.syncsJoined++
+		if s.sink.Enabled() {
+			s.sink.Emit(obs.Event{
+				Time: s.clock(), Kind: obs.KindSyncStart,
+				Node: s.cfg.ID, Peer: obs.NoPeer, Bid: bid, Note: "join",
+			})
+		}
 		s.out.BroadcastModel(tensor.Clone(s.w), s.age, bid)
 	}
-	s.serverAgg(params, age)
+	s.serverAgg(j, params, age)
 	if s.hasToken && s.token.Bid == bid {
 		s.cnt[bid]++
 		if s.cnt[bid] == s.cfg.NumServers {
@@ -350,19 +391,37 @@ func (s *ServerCore) forwardToken() {
 	s.token = nil
 	s.hasToken = false
 	s.ongoingSynchro = false
+	if s.sink.Enabled() {
+		now := s.clock()
+		s.sink.Emit(obs.Event{
+			Time: now, Kind: obs.KindSyncEnd,
+			Node: s.cfg.ID, Peer: obs.NoPeer, Bid: t.Bid,
+		})
+		s.sink.Emit(obs.Event{
+			Time: now, Kind: obs.KindTokenPass,
+			Node: s.cfg.ID, Peer: next, Bid: t.Bid,
+		})
+	}
 	s.out.SendToken(t, next)
 }
 
-// serverAgg merges another server's model into the local one
+// serverAgg merges server from's model into the local one
 // (Alg. 2 ServerAgg): the sigmoid of the relative age difference decides
 // how much the remote model counts, and the local age moves toward the
 // remote age by the same effective weight.
-func (s *ServerCore) serverAgg(params []float64, remoteAge float64) {
+func (s *ServerCore) serverAgg(from int, params []float64, remoteAge float64) {
+	ageDrift := remoteAge - s.age
 	w := ServerAggWeight(s.cfg.Phi, s.age, remoteAge)
 	ew := s.cfg.EtaA * w
 	tensor.Lerp(s.w, params, ew)
 	s.age = (1-ew)*s.age + ew*remoteAge
 	s.ages[s.cfg.ID] = s.age
+	if s.sink.Enabled() {
+		s.sink.Emit(obs.Event{
+			Time: s.clock(), Kind: obs.KindServerAgg,
+			Node: s.cfg.ID, Peer: from, Age: s.age, Stale: ageDrift,
+		})
+	}
 }
 
 // checkSynchronization implements Alg. 2 l. 20-29: trigger a model
@@ -395,6 +454,12 @@ func (s *ServerCore) checkSynchronization() {
 		s.cnt[bid] = 1 // counts our own model
 		s.syncsTriggered++
 		s.syncsJoined++
+		if s.sink.Enabled() {
+			s.sink.Emit(obs.Event{
+				Time: s.clock(), Kind: obs.KindSyncStart,
+				Node: s.cfg.ID, Peer: obs.NoPeer, Bid: bid, Note: "trigger",
+			})
+		}
 		s.out.BroadcastModel(tensor.Clone(s.w), s.age, bid)
 	} else if !s.hasToken {
 		if s.age-s.lastAgeBroadcast >= s.cfg.MinAgeGapForAgeBroadcast {

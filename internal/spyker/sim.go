@@ -58,6 +58,10 @@ func (a *Algorithm) Build(env *fl.Env) error {
 			queue:  fl.NewProcQueue(env.Sim, i, env.Observer),
 			client: make(map[int]*fl.SimClient),
 		}
+		s.queue.Instrument(
+			env.Metrics.Gauge(fmt.Sprintf("sim.server%d.queue_depth", i)),
+			env.Metrics.Histogram(fmt.Sprintf("sim.server%d.queue_depth_dist", i), nil),
+		)
 		cfg := Config{
 			ID:           i,
 			NumServers:   n,
@@ -75,6 +79,7 @@ func (a *Algorithm) Build(env *fl.Env) error {
 			RobustClipFactor: env.Hyper.RobustClipFactor,
 		}
 		s.core = NewServerCore(cfg, initial, i == 0, s)
+		s.core.Instrument(env.Trace, env.Sim.Now)
 		a.servers[i] = s
 	}
 

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 )
 
 // Kind discriminates protocol messages.
@@ -66,6 +67,22 @@ type Msg struct {
 	Ages   []float64 // token age vector (KindToken)
 }
 
+// MsgWireBytes estimates the payload size of a message in bytes: the
+// float64 vectors dominate, plus a small fixed overhead for the scalar
+// fields and gob framing. It deliberately ignores gob's type-descriptor
+// preamble (sent once per connection), so the estimate is stable per
+// frame — what byte accounting wants.
+func MsgWireBytes(m *Msg) int {
+	return 40 + 8*(len(m.Params)+len(m.Ages))
+}
+
+// ConnStats is a snapshot of a connection's frame and byte accounting.
+// Bytes are MsgWireBytes estimates, not TCP-level octets.
+type ConnStats struct {
+	FramesSent, FramesRecv int64
+	BytesSent, BytesRecv   int64
+}
+
 // Conn is a gob-framed connection. Send is safe for concurrent use;
 // Recv must be driven from a single reader goroutine.
 type Conn struct {
@@ -73,6 +90,9 @@ type Conn struct {
 	enc *gob.Encoder
 	dec *gob.Decoder
 	mu  sync.Mutex // guards enc
+
+	framesSent, framesRecv atomic.Int64
+	bytesSent, bytesRecv   atomic.Int64
 }
 
 // NewConn wraps an established net.Conn.
@@ -96,6 +116,8 @@ func (c *Conn) Send(m *Msg) error {
 	if err := c.enc.Encode(m); err != nil {
 		return fmt.Errorf("transport: send %v: %w", m.Kind, err)
 	}
+	c.framesSent.Add(1)
+	c.bytesSent.Add(int64(MsgWireBytes(m)))
 	return nil
 }
 
@@ -105,7 +127,20 @@ func (c *Conn) Recv() (*Msg, error) {
 	if err := c.dec.Decode(&m); err != nil {
 		return nil, err
 	}
+	c.framesRecv.Add(1)
+	c.bytesRecv.Add(int64(MsgWireBytes(&m)))
 	return &m, nil
+}
+
+// Stats reports the connection's cumulative frame/byte accounting. Safe
+// for concurrent use with Send and Recv.
+func (c *Conn) Stats() ConnStats {
+	return ConnStats{
+		FramesSent: c.framesSent.Load(),
+		FramesRecv: c.framesRecv.Load(),
+		BytesSent:  c.bytesSent.Load(),
+		BytesRecv:  c.bytesRecv.Load(),
+	}
 }
 
 // Close closes the underlying connection; pending Recv calls fail.

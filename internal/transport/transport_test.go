@@ -162,3 +162,53 @@ func TestLargeModelPayload(t *testing.T) {
 		}
 	}
 }
+
+// TestMsgWireBytes pins the byte-accounting model: fixed overhead plus
+// 8 bytes per float64 across both vector fields.
+func TestMsgWireBytes(t *testing.T) {
+	cases := []struct {
+		m    Msg
+		want int
+	}{
+		{Msg{Kind: KindHello, From: 3}, 40},
+		{Msg{Kind: KindClientUpdate, Params: make([]float64, 10)}, 40 + 80},
+		{Msg{Kind: KindToken, Ages: make([]float64, 4)}, 40 + 32},
+		{Msg{Kind: KindServerModel, Params: make([]float64, 5), Ages: make([]float64, 2)}, 40 + 56},
+	}
+	for _, c := range cases {
+		if got := MsgWireBytes(&c.m); got != c.want {
+			t.Errorf("MsgWireBytes(%v) = %d, want %d", c.m.Kind, got, c.want)
+		}
+	}
+}
+
+// TestConnStats checks that Send/Recv maintain the frame and byte
+// counters symmetrically on both ends of a connection.
+func TestConnStats(t *testing.T) {
+	client, server := pipePair(t)
+	msgs := []*Msg{
+		{Kind: KindHello, From: 1},
+		{Kind: KindClientUpdate, From: 1, Params: make([]float64, 16), Age: 2},
+		{Kind: KindToken, From: 0, Ages: make([]float64, 3)},
+	}
+	wantBytes := int64(0)
+	for _, m := range msgs {
+		wantBytes += int64(MsgWireBytes(m))
+		if err := client.Send(m); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := server.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs, ss := client.Stats(), server.Stats()
+	if cs.FramesSent != int64(len(msgs)) || cs.BytesSent != wantBytes {
+		t.Errorf("client sent stats = %+v, want %d frames / %d bytes", cs, len(msgs), wantBytes)
+	}
+	if ss.FramesRecv != int64(len(msgs)) || ss.BytesRecv != wantBytes {
+		t.Errorf("server recv stats = %+v, want %d frames / %d bytes", ss, len(msgs), wantBytes)
+	}
+	if cs.FramesRecv != 0 || ss.FramesSent != 0 {
+		t.Errorf("unused directions should be zero: client %+v server %+v", cs, ss)
+	}
+}
