@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -29,9 +31,47 @@ func main() {
 	seed := flag.Int64("seed", 1, "experiment seed")
 	t90 := flag.Float64("target90", 0.90, "lower accuracy target for table6")
 	t95 := flag.Float64("target95", 0.93, "upper accuracy target for table6")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
 
-	if err := run(*exp, *scale, *seed, *t90, *t95); err != nil {
+	var cpuFile *os.File
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cpuFile = f
+	}
+
+	err := run(*exp, *scale, *seed, *t90, *t95)
+
+	// Profiles are flushed before exiting on any path (os.Exit skips
+	// deferred calls, so this is explicit).
+	if cpuFile != nil {
+		pprof.StopCPUProfile()
+		_ = cpuFile.Close()
+	}
+	if *memprofile != "" {
+		f, merr := os.Create(*memprofile)
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, merr)
+			os.Exit(1)
+		}
+		runtime.GC() // flush garbage so the profile shows live allocations
+		if merr := pprof.WriteHeapProfile(f); merr != nil {
+			fmt.Fprintln(os.Stderr, merr)
+			os.Exit(1)
+		}
+		_ = f.Close()
+	}
+
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

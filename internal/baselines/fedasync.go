@@ -11,6 +11,7 @@ import (
 
 	"github.com/spyker-fl/spyker/internal/fl"
 	"github.com/spyker-fl/spyker/internal/geo"
+	"github.com/spyker-fl/spyker/internal/paramvec"
 	"github.com/spyker-fl/spyker/internal/tensor"
 )
 
@@ -89,7 +90,7 @@ func (s *fedAsyncServer) handleUpdate(client int, update []float64, ver int, mod
 		staleness = 0
 	}
 	alphaT := s.env.Hyper.Alpha * math.Pow(1+staleness, -s.env.Hyper.StalenessExp)
-	tensor.Lerp(s.w, update, alphaT)
+	paramvec.Vec(s.w).WeightedMergeInto(alphaT, update)
 	s.version++
 
 	s.env.Observer.ClientUpdateProcessed(s.env.Sim.Now(), 0, client, models)
@@ -97,10 +98,14 @@ func (s *fedAsyncServer) handleUpdate(client int, update []float64, ver int, mod
 	src := s.env.ServerEndpoint(0)
 	dst := s.env.ClientEndpoint(client)
 	c := s.clients[client]
-	reply := tensor.Clone(s.w)
+	// The reply travels in a pooled buffer; HandleModel copies it into the
+	// client's model before returning, so it can be recycled right after.
+	reply := s.env.Pool.Get(len(s.w))
+	reply.CopyFrom(s.w)
 	ver = s.version
 	s.env.Net.Send(src, dst, s.env.ModelBytes, geo.ClientServer, func() {
 		c.HandleModel(reply, ver, s.env.Hyper.ClientLR)
+		s.env.Pool.Put(reply)
 	})
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"github.com/spyker-fl/spyker/internal/fl"
 	"github.com/spyker-fl/spyker/internal/geo"
+	"github.com/spyker-fl/spyker/internal/paramvec"
 	"github.com/spyker-fl/spyker/internal/tensor"
 )
 
@@ -93,12 +94,24 @@ func (s *fedAvgServer) startRound() {
 	s.round++
 	s.selected = s.sampleClients()
 	src := s.env.ServerEndpoint(0)
-	snapshot := tensor.Clone(s.w)
+	// One pooled snapshot serves the whole round; the countdown (safe:
+	// the simulator is single-threaded) recycles it once the last sampled
+	// client has copied it into its model.
+	snapshot := s.env.Pool.Get(len(s.w))
+	snapshot.CopyFrom(s.w)
+	remaining := len(s.selected)
+	if remaining == 0 {
+		s.env.Pool.Put(snapshot)
+		return
+	}
 	for ci := range s.selected {
 		dst := s.env.ClientEndpoint(ci)
 		cc := s.clients[ci]
 		s.env.Net.Send(src, dst, s.env.ModelBytes, geo.ClientServer, func() {
 			cc.HandleModel(snapshot, nil, s.env.Hyper.ClientLR)
+			if remaining--; remaining == 0 {
+				s.env.Pool.Put(snapshot)
+			}
 		})
 	}
 }
@@ -144,9 +157,10 @@ func (s *fedAvgServer) receive(client int, update []float64, models func() [][]f
 	for ci := range round {
 		totalShare += s.shares[ci]
 	}
-	tensor.Zero(s.w)
+	w := paramvec.Vec(s.w)
+	w.Zero()
 	for ci, up := range round {
-		tensor.AXPY(s.shares[ci]/totalShare, s.w, up)
+		w.AxpyInto(s.shares[ci]/totalShare, up)
 	}
 	s.startRound()
 }

@@ -5,6 +5,7 @@ import (
 
 	"github.com/spyker-fl/spyker/internal/fl"
 	"github.com/spyker-fl/spyker/internal/geo"
+	"github.com/spyker-fl/spyker/internal/paramvec"
 	"github.com/spyker-fl/spyker/internal/tensor"
 )
 
@@ -98,17 +99,13 @@ func (s *fedBuffServer) handleUpdate(client int, update []float64, ver int, mode
 	}
 	scale := math.Pow(1+staleness, -s.env.Hyper.StalenessExp)
 	base := s.lastSent[client]
-	for i := range s.buffer {
-		s.buffer[i] += scale * (update[i] - base[i])
-	}
+	paramvec.Vec(s.buffer).AddScaledDiff(scale, update, base)
 	s.buffered++
 
 	if s.buffered >= s.bufferK() {
 		inv := 1 / float64(s.buffered)
-		for i := range s.w {
-			s.w[i] += s.env.Hyper.Alpha * 2 * inv * s.buffer[i]
-		}
-		tensor.Zero(s.buffer)
+		paramvec.Vec(s.w).AxpyInto(s.env.Hyper.Alpha*2*inv, s.buffer)
+		paramvec.Vec(s.buffer).Zero()
 		s.buffered = 0
 		s.version++
 		s.flushes++
@@ -119,6 +116,8 @@ func (s *fedBuffServer) handleUpdate(client int, update []float64, ver int, mode
 	src := s.env.ServerEndpoint(0)
 	dst := s.env.ClientEndpoint(client)
 	c := s.clients[client]
+	// The reply stays owned (not pooled): lastSent legitimately retains it
+	// until the client's next update, to recover the local delta.
 	reply := tensor.Clone(s.w)
 	s.lastSent[client] = reply
 	ver = s.version

@@ -3,6 +3,7 @@ package baselines
 import (
 	"github.com/spyker-fl/spyker/internal/fl"
 	"github.com/spyker-fl/spyker/internal/geo"
+	"github.com/spyker-fl/spyker/internal/paramvec"
 	"github.com/spyker-fl/spyker/internal/tensor"
 )
 
@@ -118,12 +119,23 @@ func (e *hierEdge) startRound() {
 	e.round++
 	env := e.alg.env
 	src := env.ServerEndpoint(e.id)
-	snapshot := tensor.Clone(e.w)
+	// One pooled snapshot per round, recycled after the last client of the
+	// edge has copied it (single-threaded simulator, so a countdown works).
+	snapshot := env.Pool.Get(len(e.w))
+	snapshot.CopyFrom(e.w)
+	remaining := len(e.clients)
+	if remaining == 0 {
+		env.Pool.Put(snapshot)
+		return
+	}
 	for ci, c := range e.clients {
 		dst := env.ClientEndpoint(ci)
 		cc := c
 		env.Net.Send(src, dst, env.ModelBytes, geo.ClientServer, func() {
 			cc.HandleModel(snapshot, nil, env.Hyper.ClientLR)
+			if remaining--; remaining == 0 {
+				env.Pool.Put(snapshot)
+			}
 		})
 	}
 }
@@ -137,9 +149,10 @@ func (e *hierEdge) receive(client int, update []float64) {
 	}
 	round := e.pending
 	e.pending = make(map[int][]float64)
-	tensor.Zero(e.w)
+	w := paramvec.Vec(e.w)
+	w.Zero()
 	for ci, up := range round {
-		tensor.AXPY(e.shares[ci], e.w, up)
+		w.AxpyInto(e.shares[ci], up)
 	}
 	if e.round%env.Hyper.HierEdgeRounds == 0 {
 		e.sendToCloud()
@@ -151,7 +164,10 @@ func (e *hierEdge) receive(client int, update []float64) {
 func (e *hierEdge) sendToCloud() {
 	env := e.alg.env
 	src := env.ServerEndpoint(e.id)
-	snapshot := tensor.Clone(e.w)
+	// Pooled: the cloud holds the snapshot in pending until the global
+	// round completes, then recycles it (see hierCloud.receive).
+	snapshot := env.Pool.Get(len(e.w))
+	snapshot.CopyFrom(e.w)
 	cloud := e.alg.cloud
 	env.Net.Send(src, cloud.endpoint, env.ModelBytes, geo.ServerServer, func() {
 		// Each edge model costs one aggregation delay on the cloud queue.
@@ -161,7 +177,7 @@ func (e *hierEdge) sendToCloud() {
 	})
 }
 
-func (c *hierCloud) receive(edge int, model []float64) {
+func (c *hierCloud) receive(edge int, model paramvec.Vec) {
 	c.pending[edge] = model
 	if len(c.pending) < len(c.alg.edges) {
 		return
@@ -170,18 +186,23 @@ func (c *hierCloud) receive(edge int, model []float64) {
 	c.pending = make(map[int][]float64)
 	env := c.alg.env
 	c.rounds++
-	global := make([]float64, len(round[0]))
+	global := env.Pool.Get(len(round[0]))
+	global.Zero()
 	for ei, m := range round {
-		tensor.AXPY(c.alg.edges[ei].weight, global, m)
+		global.AxpyInto(c.alg.edges[ei].weight, m)
+		env.Pool.Put(m)
 	}
+	remaining := len(c.alg.edges)
 	for _, e := range c.alg.edges {
 		edge := e
 		dst := env.ServerEndpoint(edge.id)
-		snapshot := tensor.Clone(global)
 		env.Net.Send(c.endpoint, dst, env.ModelBytes, geo.ServerServer, func() {
 			edge.queue.Submit(env.ProcFor(edge.id, env.Hyper.ProcHier), func() {
-				copy(edge.w, snapshot)
+				copy(edge.w, global)
 				edge.startRound()
+				if remaining--; remaining == 0 {
+					env.Pool.Put(global)
+				}
 			})
 		})
 	}

@@ -18,6 +18,7 @@ type constModel struct {
 
 func (m *constModel) NumParams() int        { return len(m.params) }
 func (m *constModel) Params() []float64     { return append([]float64(nil), m.params...) }
+func (m *constModel) ParamsView() []float64 { return m.params }
 func (m *constModel) SetParams(p []float64) { m.params = append([]float64(nil), p...) }
 func (m *constModel) Train(shard []int, epochs int, lr float64) {
 	for i := range m.params {

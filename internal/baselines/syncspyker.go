@@ -5,6 +5,7 @@ import (
 
 	"github.com/spyker-fl/spyker/internal/fl"
 	"github.com/spyker-fl/spyker/internal/geo"
+	"github.com/spyker-fl/spyker/internal/paramvec"
 	"github.com/spyker-fl/spyker/internal/spyker"
 	"github.com/spyker-fl/spyker/internal/tensor"
 )
@@ -162,17 +163,20 @@ func (srv *syncServer) processUpdate(client int, params []float64, age float64) 
 			}
 		}
 		wk := spyker.StalenessWeight(srv.age, age)
-		tensor.Lerp(srv.w, params, env.Hyper.EtaServer*wk*damp)
+		paramvec.Vec(srv.w).WeightedMergeInto(env.Hyper.EtaServer*wk*damp, params)
 		srv.age++
 		env.Observer.ClientUpdateProcessed(env.Sim.Now(), srv.id, client, srv.alg.params)
 
 		src := env.ServerEndpoint(srv.id)
 		dst := env.ClientEndpoint(client)
 		c := srv.clients[client]
-		reply := tensor.Clone(srv.w)
+		// Pooled reply, recycled once the client copied it into its model.
+		reply := env.Pool.Get(len(srv.w))
+		reply.CopyFrom(srv.w)
 		replyAge := srv.age
 		env.Net.Send(src, dst, env.ModelBytes, geo.ClientServer, func() {
 			c.HandleModel(reply, replyAge, lr)
+			env.Pool.Put(reply)
 		})
 	})
 }
@@ -188,7 +192,12 @@ func (srv *syncServer) beginSync() {
 		return
 	}
 	srv.syncing = true
-	srv.received[srv.id] = serverModel{tensor.Clone(srv.w), srv.age}
+	// Every model of the exchange travels in its own pooled buffer; each
+	// ends up in exactly one server's received map and is recycled after
+	// that server's aggregation (see maybeFinishSync).
+	own := env.Pool.Get(len(srv.w))
+	own.CopyFrom(srv.w)
+	srv.received[srv.id] = serverModel{own, srv.age}
 	src := env.ServerEndpoint(srv.id)
 	for _, peer := range srv.alg.servers {
 		if peer.id == srv.id {
@@ -196,7 +205,8 @@ func (srv *syncServer) beginSync() {
 		}
 		p := peer
 		dst := env.ServerEndpoint(p.id)
-		snapshot := tensor.Clone(srv.w)
+		snapshot := env.Pool.Get(len(srv.w))
+		snapshot.CopyFrom(srv.w)
 		age := srv.age
 		from := srv.id
 		env.Net.Send(src, dst, env.ModelBytes, geo.ServerServer, func() {
@@ -226,19 +236,23 @@ func (srv *syncServer) maybeFinishSync() {
 		for id := range srv.alg.servers {
 			totalAge += round[id].age
 		}
-		tensor.Zero(srv.w)
+		w := paramvec.Vec(srv.w)
+		w.Zero()
 		if totalAge > 0 {
 			for id := range srv.alg.servers {
 				m := round[id]
-				tensor.AXPY(m.age/totalAge, srv.w, m.params)
+				w.AxpyInto(m.age/totalAge, m.params)
 			}
 			srv.age = totalAge / float64(len(srv.alg.servers))
 		} else {
 			// Nothing trained anywhere yet: plain average keeps servers
 			// identical.
 			for id := range srv.alg.servers {
-				tensor.AXPY(1/float64(len(srv.alg.servers)), srv.w, round[id].params)
+				w.AxpyInto(1/float64(len(srv.alg.servers)), round[id].params)
 			}
+		}
+		for id := range srv.alg.servers {
+			env.Pool.Put(round[id].params)
 		}
 		srv.syncs++
 		srv.syncing = false

@@ -72,9 +72,22 @@ type Quantized struct {
 
 // QuantizeVector encodes params with uniform 8-bit quantization.
 func QuantizeVector(params []float64) *Quantized {
-	q := &Quantized{Data: make([]uint8, len(params))}
+	q := &Quantized{}
+	q.EncodeFrom(params)
+	return q
+}
+
+// EncodeFrom re-encodes params into q, reusing q.Data when its capacity
+// suffices — the allocation-free path for a long-lived encoder fed from a
+// parameter view. params is only read.
+func (q *Quantized) EncodeFrom(params []float64) {
+	if cap(q.Data) < len(params) {
+		q.Data = make([]uint8, len(params))
+	}
+	q.Data = q.Data[:len(params)]
+	q.Min, q.Scale = 0, 0
 	if len(params) == 0 {
-		return q
+		return
 	}
 	minV, maxV := params[0], params[0]
 	for _, v := range params[1:] {
@@ -88,7 +101,10 @@ func QuantizeVector(params []float64) *Quantized {
 	q.Min = minV
 	q.Scale = (maxV - minV) / 255
 	if q.Scale == 0 {
-		return q // constant vector: all zeros decode to Min
+		for i := range q.Data {
+			q.Data[i] = 0 // constant vector: all zeros decode to Min
+		}
+		return
 	}
 	inv := 1 / q.Scale
 	for i, v := range params {
@@ -101,16 +117,23 @@ func QuantizeVector(params []float64) *Quantized {
 		}
 		q.Data[i] = uint8(b)
 	}
-	return q
 }
 
 // Dequantize reconstructs the float vector.
 func (q *Quantized) Dequantize() []float64 {
-	out := make([]float64, len(q.Data))
-	for i, b := range q.Data {
-		out[i] = q.Min + float64(b)*q.Scale
+	return q.DequantizeInto(make([]float64, len(q.Data)))
+}
+
+// DequantizeInto reconstructs the float vector into dst (typically a
+// pooled buffer), which must have the encoded length, and returns it.
+func (q *Quantized) DequantizeInto(dst []float64) []float64 {
+	if len(dst) != len(q.Data) {
+		panic(fmt.Sprintf("compress: dst length %d != encoded %d", len(dst), len(q.Data)))
 	}
-	return out
+	for i, b := range q.Data {
+		dst[i] = q.Min + float64(b)*q.Scale
+	}
+	return dst
 }
 
 // MaxError reports the worst-case reconstruction error of the encoding:
@@ -164,8 +187,18 @@ func (t TopK) Roundtrip(params []float64) []float64 {
 // RoundtripDelta reconstructs what the receiver holding base would
 // decode: base plus the K largest-magnitude components of params-base.
 func (t TopK) RoundtripDelta(base, params []float64) []float64 {
+	return t.RoundtripDeltaInto(make([]float64, len(params)), base, params)
+}
+
+// RoundtripDeltaInto is RoundtripDelta writing the reconstruction into
+// dst (typically a pooled buffer) and returning it. dst must have the
+// params length and may alias base but not params.
+func (t TopK) RoundtripDeltaInto(dst, base, params []float64) []float64 {
 	if len(base) != len(params) {
 		panic(fmt.Sprintf("compress: base length %d != params %d", len(base), len(params)))
+	}
+	if len(dst) != len(params) {
+		panic(fmt.Sprintf("compress: dst length %d != params %d", len(dst), len(params)))
 	}
 	n := len(params)
 	k := t.k(n)
@@ -181,9 +214,9 @@ func (t TopK) RoundtripDelta(base, params []float64) []float64 {
 		}
 		return idx[a] < idx[b]
 	})
-	out := append([]float64(nil), base...)
+	copy(dst, base)
 	for _, i := range idx[:k] {
-		out[i] = params[i]
+		dst[i] = params[i]
 	}
-	return out
+	return dst
 }

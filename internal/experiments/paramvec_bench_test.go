@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/spyker-fl/spyker/internal/data"
+	"github.com/spyker-fl/spyker/internal/fl"
+	"github.com/spyker-fl/spyker/internal/nn"
+	"github.com/spyker-fl/spyker/internal/spyker"
+)
+
+// nopOutbound swallows everything a ServerCore emits, so the benchmarks
+// below measure the aggregation math itself, not a transport.
+type nopOutbound struct{}
+
+func (nopOutbound) ReplyClient(int, []float64, float64, float64) {}
+func (nopOutbound) BroadcastModel([]float64, float64, int)       {}
+func (nopOutbound) BroadcastAge(float64)                         {}
+func (nopOutbound) SendToken(t spyker.Token, next int)           {}
+
+func benchModel(b *testing.B) fl.Model {
+	b.Helper()
+	ds := data.GenerateImages(data.MNISTLike(20, 30, 1))
+	rng := rand.New(rand.NewSource(1))
+	ch, h, w := ds.Shape()
+	conv := nn.NewConv2D(ch, h, w, 6, 3, rng)
+	pool := nn.NewMaxPool2D(6, 10, 10)
+	net := nn.NewNetwork(
+		conv, nn.NewReLU(conv.OutSize()), pool,
+		nn.NewDense(pool.OutSize(), 32, rng), nn.NewReLU(32),
+		nn.NewDense(32, ds.NumClasses(), rng),
+	)
+	return fl.NewClassifier(net, ds, ds.TestSet(), 10, 1)
+}
+
+// BenchmarkParamsRoundTrip measures the cost of one full model
+// export/import cycle — the unit of every simulated or live model
+// exchange.
+func BenchmarkParamsRoundTrip(b *testing.B) {
+	m := benchModel(b)
+	p := m.Params()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p = m.Params()
+		m.SetParams(p)
+	}
+	_ = p
+}
+
+// BenchmarkServerAggregate measures the Spyker server's client-update hot
+// path: staleness-weighted merge plus the model reply, over a
+// realistically sized (25k-parameter) flat vector.
+func BenchmarkServerAggregate(b *testing.B) {
+	const n = 25000
+	cfg := spyker.Config{
+		ID: 0, NumServers: 1, NumClients: 8,
+		EtaServer: 0.6, Phi: 1.5, EtaA: 0.6,
+		HInter: 1e18, HIntra: 1e18, // never trigger a sync mid-benchmark
+		ClientLR: 0.05,
+	}
+	initial := make([]float64, n)
+	update := make([]float64, n)
+	rng := rand.New(rand.NewSource(2))
+	for i := range update {
+		initial[i] = rng.NormFloat64()
+		update[i] = rng.NormFloat64()
+	}
+	core := spyker.NewServerCore(cfg, initial, false, nopOutbound{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.HandleClientUpdate(i%8, update, core.Age())
+	}
+}
+
+// BenchmarkServerAggregateClipped is the same hot path with
+// Byzantine-robust norm clipping enabled, which additionally computes the
+// update delta and its norm per update.
+func BenchmarkServerAggregateClipped(b *testing.B) {
+	const n = 25000
+	cfg := spyker.Config{
+		ID: 0, NumServers: 1, NumClients: 8,
+		EtaServer: 0.6, Phi: 1.5, EtaA: 0.6,
+		HInter: 1e18, HIntra: 1e18,
+		ClientLR:         0.05,
+		RobustClipFactor: 3,
+	}
+	initial := make([]float64, n)
+	update := make([]float64, n)
+	rng := rand.New(rand.NewSource(2))
+	for i := range update {
+		initial[i] = rng.NormFloat64()
+		update[i] = rng.NormFloat64()
+	}
+	core := spyker.NewServerCore(cfg, initial, false, nopOutbound{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.HandleClientUpdate(i%8, update, core.Age())
+	}
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/spyker-fl/spyker/internal/data"
+	"github.com/spyker-fl/spyker/internal/fl"
+	"github.com/spyker-fl/spyker/internal/nn"
+)
+
+// TestParamsViewMatchesParams is the property test behind the flat-vector
+// memory plane: for every model family of the paper's evaluation, the
+// zero-copy ParamsView must be element-identical to the copying Params —
+// at initialization and after real local training — and Params must stay
+// an independent copy. Gradient correctness of the flat layouts is
+// covered by the gradcheck tests in internal/nn.
+func TestParamsViewMatchesParams(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() (fl.Model, []int)
+	}{
+		{"mnist-cnn", func() (fl.Model, []int) {
+			ds := data.GenerateImages(data.MNISTLike(40, 20, 1))
+			rng := rand.New(rand.NewSource(2))
+			ch, h, w := ds.Shape()
+			conv := nn.NewConv2D(ch, h, w, 6, 3, rng)
+			pool := nn.NewMaxPool2D(6, 10, 10)
+			net := nn.NewNetwork(
+				conv,
+				nn.NewReLU(conv.OutSize()),
+				pool,
+				nn.NewDense(pool.OutSize(), 32, rng),
+				nn.NewReLU(32),
+				nn.NewDense(32, ds.NumClasses(), rng),
+			)
+			return fl.NewClassifier(net, ds, ds.TestSet(), 10, 3), seqShard(ds.Len())
+		}},
+		{"cifar-cnn", func() (fl.Model, []int) {
+			ds := data.GenerateImages(data.CIFARLike(40, 20, 4))
+			rng := rand.New(rand.NewSource(5))
+			ch, h, w := ds.Shape()
+			conv1 := nn.NewConv2D(ch, h, w, 6, 3, rng)
+			conv2 := nn.NewConv2D(6, 10, 10, 8, 3, rng)
+			pool := nn.NewMaxPool2D(8, 8, 8)
+			net := nn.NewNetwork(
+				conv1,
+				nn.NewReLU(conv1.OutSize()),
+				conv2,
+				nn.NewReLU(conv2.OutSize()),
+				pool,
+				nn.NewDense(pool.OutSize(), 32, rng),
+				nn.NewReLU(32),
+				nn.NewDense(32, ds.NumClasses(), rng),
+			)
+			return fl.NewClassifier(net, ds, ds.TestSet(), 10, 6), seqShard(ds.Len())
+		}},
+		{"char-lstm", func() (fl.Model, []int) {
+			txt := data.GenerateText(data.WikiTextLike(2000, 256, 7))
+			rng := rand.New(rand.NewSource(8))
+			lm := nn.NewCharLM(txt.Vocab(), 8, 16, rng)
+			n := txt.Len()
+			if n > 8 {
+				n = 8
+			}
+			return fl.NewLanguageModel(lm, txt, 9), seqShard(n)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, shard := tc.build()
+			check := func(stage string) {
+				view, copied := m.ParamsView(), m.Params()
+				if len(view) != m.NumParams() || len(copied) != m.NumParams() {
+					t.Fatalf("%s: lengths view=%d copy=%d want %d",
+						stage, len(view), len(copied), m.NumParams())
+				}
+				for i := range view {
+					if view[i] != copied[i] {
+						t.Fatalf("%s: view[%d]=%v != copy[%d]=%v",
+							stage, i, view[i], i, copied[i])
+					}
+				}
+			}
+			check("init")
+			m.Train(shard, 1, 0.05)
+			check("after train")
+			// Params must be a genuine copy: mutating it cannot reach the
+			// live plane behind ParamsView.
+			copied := m.Params()
+			copied[0] += 42
+			if m.ParamsView()[0] == copied[0] {
+				t.Fatalf("Params aliases the live parameter plane")
+			}
+		})
+	}
+}
+
+func seqShard(n int) []int {
+	shard := make([]int, n)
+	for i := range shard {
+		shard[i] = i
+	}
+	return shard
+}

@@ -54,7 +54,15 @@ func (c *SimClient) tamper(received, trained []float64) []float64 {
 func (c *SimClient) HandleModel(params []float64, meta any, lr float64) {
 	c.Model.SetParams(params)
 	c.Model.Train(c.Spec.Shard, c.Spec.Epochs, lr)
-	update := c.Model.Params()
+	// The honest update is the model's live parameter view, not a copy.
+	// This is safe because every protocol in this repository only hands
+	// this client a new model (the next SetParams/Train) after the server
+	// has consumed the previous update: Spyker/FedAsync/FedBuff/
+	// Sync-Spyker reply per processed update, and the round-based
+	// protocols (FedAvg, HierFAVG) only start a round after aggregating
+	// all pending updates. The Byzantine and codec paths below produce
+	// owned vectors anyway.
+	update := c.Model.ParamsView()
 	if c.Spec.Byzantine != ByzantineNone {
 		update = c.tamper(params, update)
 	}

@@ -17,6 +17,7 @@ type echoModel struct {
 
 func (m *echoModel) NumParams() int        { return len(m.params) }
 func (m *echoModel) Params() []float64     { return append([]float64(nil), m.params...) }
+func (m *echoModel) ParamsView() []float64 { return m.params }
 func (m *echoModel) SetParams(p []float64) { m.params = append([]float64(nil), p...) }
 func (m *echoModel) Train(shard []int, epochs int, lr float64) {
 	m.trained++

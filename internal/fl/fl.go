@@ -12,6 +12,7 @@ import (
 	"github.com/spyker-fl/spyker/internal/compress"
 	"github.com/spyker-fl/spyker/internal/geo"
 	"github.com/spyker-fl/spyker/internal/obs"
+	"github.com/spyker-fl/spyker/internal/paramvec"
 	"github.com/spyker-fl/spyker/internal/simulation"
 )
 
@@ -23,6 +24,12 @@ type Model interface {
 	NumParams() int
 	// Params returns a copy of the parameters as one flat vector.
 	Params() []float64
+	// ParamsView returns the live flat parameter vector as a read-only
+	// borrow: callers must not modify it, and its contents are only valid
+	// until the model's next SetParams or Train. It exists so the hot
+	// exchange paths can serialize or merge a model without first copying
+	// it; anything retained longer must be copied (use Params).
+	ParamsView() []float64
 	// SetParams loads a flat parameter vector.
 	SetParams(p []float64)
 	// Train runs the given number of local epochs of SGD at rate lr over
@@ -230,6 +237,11 @@ type Env struct {
 	// Metrics is the runtime metrics registry; Validate installs an empty
 	// one when nil.
 	Metrics *obs.Registry
+	// Pool recycles model-sized buffers across the simulation's actors —
+	// the shared parameter-vector memory plane. Validate installs one when
+	// nil. Buffers handed out by it must be fully overwritten before use
+	// and returned exactly once.
+	Pool *paramvec.Pool
 }
 
 // ServerProcMultiplier optionally scales each server's processing
@@ -280,6 +292,13 @@ func (e *Env) Validate() error {
 	if e.Metrics == nil {
 		e.Metrics = obs.NewRegistry()
 	}
+	if e.Pool == nil {
+		e.Pool = &paramvec.Pool{}
+	}
+	e.Pool.Instrument(
+		e.Metrics.Gauge("sim.pool_live_vecs"),
+		e.Metrics.Counter("sim.pool_recycled_total"),
+	)
 	return nil
 }
 

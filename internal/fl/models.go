@@ -44,6 +44,10 @@ func (c *Classifier) NumParams() int { return c.net.NumParams() }
 // Params implements Model.
 func (c *Classifier) Params() []float64 { return c.net.Params() }
 
+// ParamsView implements Model: a zero-copy borrow of the network's
+// contiguous parameter plane.
+func (c *Classifier) ParamsView() []float64 { return c.net.ParamsView() }
+
 // SetParams implements Model.
 func (c *Classifier) SetParams(p []float64) { c.net.SetParams(p) }
 
@@ -119,6 +123,10 @@ func (m *LanguageModel) NumParams() int { return m.lm.NumParams() }
 
 // Params implements Model.
 func (m *LanguageModel) Params() []float64 { return m.lm.Params() }
+
+// ParamsView implements Model: a zero-copy borrow of the LSTM's
+// contiguous parameter plane.
+func (m *LanguageModel) ParamsView() []float64 { return m.lm.ParamsView() }
 
 // SetParams implements Model.
 func (m *LanguageModel) SetParams(p []float64) { m.lm.SetParams(p) }

@@ -29,9 +29,15 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 // token, decay counters) so a restarted process can resume where it left
 // off.
 func (s *Server) WriteCheckpoint(w io.Writer) error {
+	// The scratch State is reused across checkpoints (SnapshotInto only
+	// grows it), so periodic checkpointing stops allocating a model-sized
+	// vector per tick; ckptMu serializes concurrent checkpoint writers.
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
 	s.mu.Lock()
-	st := s.core.Snapshot()
+	s.core.SnapshotInto(&s.ckptScratch)
 	s.mu.Unlock()
+	st := &s.ckptScratch
 	cw := &countingWriter{w: w}
 	if err := gob.NewEncoder(cw).Encode(st); err != nil {
 		return fmt.Errorf("live: encode checkpoint: %w", err)

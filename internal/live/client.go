@@ -34,31 +34,36 @@ func (c *Client) Run(serverAddr string) error {
 	if err := conn.Send(&transport.Msg{Kind: transport.KindHello, From: c.ID, Bid: roleClient}); err != nil {
 		return err
 	}
+	// Both frames are reused across iterations: RecvInto recycles the
+	// inbound Params buffer, and the outbound update serializes straight
+	// from the model's parameter view — Send gob-encodes synchronously, so
+	// the borrow never outlives the call and the loop allocates nothing
+	// per round.
+	var in, out transport.Msg
 	for {
-		m, err := conn.Recv()
-		if err != nil {
+		if err := conn.RecvInto(&in); err != nil {
 			// The server closing the connection during teardown is an
 			// orderly end of participation.
 			return nil
 		}
-		switch m.Kind {
+		switch in.Kind {
 		case transport.KindShutdown:
 			return nil
 		case transport.KindModelReply:
-			c.Model.SetParams(m.Params)
-			c.Model.Train(c.Shard, c.Epochs, m.LR)
+			c.Model.SetParams(in.Params)
+			c.Model.Train(c.Shard, c.Epochs, in.LR)
 			c.updates++
-			err := conn.Send(&transport.Msg{
+			out = transport.Msg{
 				Kind:   transport.KindClientUpdate,
 				From:   c.ID,
-				Params: c.Model.Params(),
-				Age:    m.Age,
-			})
-			if err != nil {
+				Params: c.Model.ParamsView(),
+				Age:    in.Age,
+			}
+			if err := conn.Send(&out); err != nil {
 				return nil
 			}
 		default:
-			return fmt.Errorf("live: client %d got unexpected %v", c.ID, m.Kind)
+			return fmt.Errorf("live: client %d got unexpected %v", c.ID, in.Kind)
 		}
 	}
 }

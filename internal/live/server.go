@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/spyker-fl/spyker/internal/obs"
+	"github.com/spyker-fl/spyker/internal/paramvec"
 	"github.com/spyker-fl/spyker/internal/spyker"
 	"github.com/spyker-fl/spyker/internal/transport"
 )
@@ -35,10 +36,13 @@ type outbox struct {
 
 // timedMsg remembers when the frame was enqueued so the injected latency
 // is pipelined: every frame leaves at enqueue-time + delay, like a real
-// long link, rather than serializing delay per frame.
+// long link, rather than serializing delay per frame. release, when
+// non-nil, returns the frame's pooled payload once the frame has left
+// (or was dropped); the drain goroutine calls it exactly once per frame.
 type timedMsg struct {
-	m  *transport.Msg
-	at time.Time
+	m       *transport.Msg
+	at      time.Time
+	release func()
 }
 
 // newOutbox creates the drain goroutine for conn. A non-zero delay
@@ -50,12 +54,18 @@ func newOutbox(conn *transport.Conn, delay time.Duration) *outbox {
 	go func() {
 		defer close(o.done)
 		defer func() { _ = conn.Close() }()
+		dead := false
 		for tm := range o.ch {
-			if o.delay > 0 {
-				time.Sleep(time.Until(tm.at.Add(o.delay)))
+			if !dead {
+				if o.delay > 0 {
+					time.Sleep(time.Until(tm.at.Add(o.delay)))
+				}
+				if err := conn.Send(tm.m); err != nil {
+					dead = true // connection is gone; keep draining to release payloads
+				}
 			}
-			if err := conn.Send(tm.m); err != nil {
-				break // connection is gone; drop the rest
+			if tm.release != nil {
+				tm.release()
 			}
 		}
 	}()
@@ -65,10 +75,18 @@ func newOutbox(conn *transport.Conn, delay time.Duration) *outbox {
 // enqueue queues a frame; it drops the frame if the outbox already
 // finished (dead connection). Callers must guarantee no enqueue happens
 // after beginClose — the Server serializes both under its mutex.
-func (o *outbox) enqueue(m *transport.Msg) {
+func (o *outbox) enqueue(m *transport.Msg) { o.enqueueRelease(m, nil) }
+
+// enqueueRelease queues a frame whose payload must be released after the
+// drain goroutine is done with it. release runs exactly once — after the
+// send attempt, or right here if the outbox is already dead.
+func (o *outbox) enqueueRelease(m *transport.Msg, release func()) {
 	select {
-	case o.ch <- timedMsg{m: m, at: time.Now()}:
+	case o.ch <- timedMsg{m: m, at: time.Now(), release: release}:
 	case <-o.done:
+		if release != nil {
+			release()
+		}
 	}
 }
 
@@ -95,6 +113,16 @@ type Server struct {
 	peerDelay   time.Duration // injected one-way latency on peer links
 	clientDelay time.Duration // injected one-way latency on client links
 	updates     atomic.Int64
+
+	// pool recycles the model-sized buffers outbound frames are copied
+	// into (the core's Outbound contract only lends its vector for the
+	// duration of the call); outbox goroutines return them after sending.
+	pool paramvec.Pool
+
+	// ckptScratch is the reusable checkpoint snapshot (see
+	// WriteCheckpoint); ckptMu serializes checkpoint writers.
+	ckptMu      sync.Mutex
+	ckptScratch spyker.State
 
 	// Observability (see Instrument). sink/clock default to no-ops; the
 	// byte totals are always maintained (they are two atomic adds per
@@ -150,6 +178,12 @@ func (s *Server) Instrument(sink obs.Sink, reg *obs.Registry) {
 	}
 	s.sink = sink
 	s.reg = reg
+	if reg != nil {
+		s.pool.Instrument(
+			reg.Gauge(fmt.Sprintf("live.server%d.pool_live_vecs", s.ID)),
+			reg.Counter(fmt.Sprintf("live.server%d.pool_recycled_total", s.ID)),
+		)
+	}
 	s.core.Instrument(sink, s.clock)
 }
 
@@ -333,12 +367,17 @@ func (s *Server) readLoop(conn *transport.Conn) {
 		_ = conn.Close()
 		return
 	}
+	// One reusable frame per connection: RecvInto recycles the Params
+	// backing array across decodes, so a steady-state reader allocates
+	// nothing per frame. The core handlers consume Params synchronously
+	// (dispatch holds s.mu for the whole handler) and Token.Ages — the one
+	// field receivers retain — is never reused (see transport.Msg.Reset).
+	var m transport.Msg
 	for {
-		m, err := conn.Recv()
-		if err != nil {
+		if err := conn.RecvInto(&m); err != nil {
 			return
 		}
-		s.dispatch(m)
+		s.dispatch(&m)
 	}
 }
 
@@ -351,16 +390,19 @@ func (s *Server) registerClient(id int, conn *transport.Conn) {
 	}
 	ob := newOutbox(conn, s.clientDelay)
 	s.clients[id] = ob
-	// Hand the client the current model so it can start training.
+	// Hand the client the current model so it can start training. The
+	// copy rides in a pooled buffer returned after the send.
+	buf := s.pool.Get(len(s.core.Params()))
+	buf.CopyFrom(s.core.Params())
 	m := &transport.Msg{
 		Kind:   transport.KindModelReply,
 		From:   s.ID,
-		Params: append([]float64(nil), s.core.Params()...),
+		Params: buf,
 		Age:    s.core.Age(),
 		LR:     s.clientLR,
 	}
 	s.noteSend(id, m)
-	ob.enqueue(m)
+	ob.enqueueRelease(m, func() { s.pool.Put(buf) })
 }
 
 func (s *Server) dispatch(m *transport.Msg) {
@@ -394,26 +436,37 @@ var _ spyker.Outbound = (*serverOutbound)(nil)
 
 func (o *serverOutbound) ReplyClient(k int, params []float64, age, lr float64) {
 	if c, ok := o.clients[k]; ok {
+		s := (*Server)(o)
+		// params is a borrow of the core's live vector (Outbound
+		// contract); the outbox sends asynchronously, so copy into a
+		// pooled buffer it returns after the send.
+		buf := s.pool.Get(len(params))
+		buf.CopyFrom(params)
 		m := &transport.Msg{
 			Kind: transport.KindModelReply, From: o.ID,
-			Params: params, Age: age, LR: lr,
+			Params: buf, Age: age, LR: lr,
 		}
-		(*Server)(o).noteSend(k, m)
-		c.enqueue(m)
+		s.noteSend(k, m)
+		c.enqueueRelease(m, func() { s.pool.Put(buf) })
 	}
 }
 
 func (o *serverOutbound) BroadcastModel(params []float64, age float64, bid int) {
+	s := (*Server)(o)
 	for id, p := range o.peers {
 		if p == nil || id == o.ID {
 			continue
 		}
+		// One pooled copy per peer: each outbox owns its buffer and
+		// returns it independently after its send completes.
+		buf := s.pool.Get(len(params))
+		buf.CopyFrom(params)
 		m := &transport.Msg{
 			Kind: transport.KindServerModel, From: o.ID,
-			Params: params, Age: age, Bid: bid,
+			Params: buf, Age: age, Bid: bid,
 		}
-		(*Server)(o).noteSend(obs.ServerNode+id, m)
-		p.enqueue(m)
+		s.noteSend(obs.ServerNode+id, m)
+		p.enqueueRelease(m, func() { s.pool.Put(buf) })
 	}
 }
 

@@ -15,6 +15,7 @@ type stubModel struct {
 
 func (s *stubModel) NumParams() int               { return 2 }
 func (s *stubModel) Params() []float64            { return append([]float64(nil), s.lastParams...) }
+func (s *stubModel) ParamsView() []float64        { return s.lastParams }
 func (s *stubModel) SetParams(p []float64)        { s.lastParams = append([]float64(nil), p...) }
 func (s *stubModel) Train([]int, int, float64)    {}
 func (s *stubModel) Evaluate() (float64, float64) { return 1.5, s.acc }

@@ -112,6 +112,13 @@ func (c *Conv2D) Backward(dy []float64) []float64 {
 	return c.dx
 }
 
+// rebind implements rebinder: filter and bias storage move into the
+// network-owned contiguous planes.
+func (c *Conv2D) rebind(claim func(int) ([]float64, []float64)) {
+	c.w, c.gw = adopt(claim, c.w, c.gw)
+	c.b, c.gb = adopt(claim, c.b, c.gb)
+}
+
 // ParamBlocks implements Layer.
 func (c *Conv2D) ParamBlocks() [][]float64 { return [][]float64{c.w, c.b} }
 

@@ -84,6 +84,13 @@ func (d *Dense) Backward(dy []float64) []float64 {
 	return d.dx
 }
 
+// rebind implements rebinder: weight and bias storage move into the
+// network-owned contiguous planes.
+func (d *Dense) rebind(claim func(int) ([]float64, []float64)) {
+	d.w.Data, d.gw.Data = adopt(claim, d.w.Data, d.gw.Data)
+	d.b, d.gb = adopt(claim, d.b, d.gb)
+}
+
 // ParamBlocks implements Layer.
 func (d *Dense) ParamBlocks() [][]float64 { return [][]float64{d.w.Data, d.b} }
 

@@ -17,6 +17,11 @@ import (
 type CharLM struct {
 	vocab, embDim, hidden int
 
+	// backing/gradBacking are the contiguous parameter and gradient
+	// planes all blocks below alias, in paramBlocks order.
+	backing     []float64
+	gradBacking []float64
+
 	emb *tensor.Matrix // vocab x embDim
 	wx  *tensor.Matrix // 4H x embDim, gate order i,f,g,o
 	wh  *tensor.Matrix // 4H x H
@@ -45,22 +50,28 @@ type lstmStep struct {
 // NewCharLM builds a character LM for the given vocabulary size, embedding
 // dimension and LSTM hidden size.
 func NewCharLM(vocab, embDim, hidden int, rng *rand.Rand) *CharLM {
+	h := hidden
+	total := vocab*embDim + 4*h*embDim + 4*h*h + 4*h + vocab*h + vocab
 	m := &CharLM{
 		vocab: vocab, embDim: embDim, hidden: hidden,
-		emb: tensor.NewMatrix(vocab, embDim),
-		wx:  tensor.NewMatrix(4*hidden, embDim),
-		wh:  tensor.NewMatrix(4*hidden, hidden),
-		bg:  make([]float64, 4*hidden),
-		wy:  tensor.NewMatrix(vocab, hidden),
-		by:  make([]float64, vocab),
-
-		gEmb: tensor.NewMatrix(vocab, embDim),
-		gWx:  tensor.NewMatrix(4*hidden, embDim),
-		gWh:  tensor.NewMatrix(4*hidden, hidden),
-		gBg:  make([]float64, 4*hidden),
-		gWy:  tensor.NewMatrix(vocab, hidden),
-		gBy:  make([]float64, vocab),
+		backing:     make([]float64, total),
+		gradBacking: make([]float64, total),
 	}
+	// Carve every block out of the contiguous planes, in paramBlocks
+	// order, so the flat layout matches Params() exactly.
+	cur := &flatCursor{params: m.backing, grads: m.gradBacking}
+	p, g := cur.claim(vocab * embDim)
+	m.emb, m.gEmb = tensor.MatrixFrom(vocab, embDim, p), tensor.MatrixFrom(vocab, embDim, g)
+	p, g = cur.claim(4 * h * embDim)
+	m.wx, m.gWx = tensor.MatrixFrom(4*h, embDim, p), tensor.MatrixFrom(4*h, embDim, g)
+	p, g = cur.claim(4 * h * h)
+	m.wh, m.gWh = tensor.MatrixFrom(4*h, h, p), tensor.MatrixFrom(4*h, h, g)
+	m.bg, m.gBg = cur.claim(4 * h)
+	p, g = cur.claim(vocab * h)
+	m.wy, m.gWy = tensor.MatrixFrom(vocab, h, p), tensor.MatrixFrom(vocab, h, g)
+	m.by, m.gBy = cur.claim(vocab)
+	cur.done()
+
 	m.emb.XavierInit(rng, vocab, embDim)
 	m.wx.XavierInit(rng, embDim, hidden)
 	m.wh.XavierInit(rng, hidden, hidden)
@@ -82,17 +93,35 @@ func (m *CharLM) gradBlocks() [][]float64 {
 }
 
 // NumParams returns the total trainable parameter count.
-func (m *CharLM) NumParams() int { return flattenLen(m.paramBlocks()) }
+func (m *CharLM) NumParams() int { return len(m.backing) }
 
 // Params returns a copy of all parameters as one flat vector.
-func (m *CharLM) Params() []float64 { return flattenCopy(m.paramBlocks()) }
+func (m *CharLM) Params() []float64 {
+	out := make([]float64, len(m.backing))
+	copy(out, m.backing)
+	return out
+}
+
+// ParamsView returns the live flat parameter vector — a zero-copy
+// read-only borrow of the contiguous backing plane. Callers must not
+// modify it and must copy whatever they retain across a training step.
+func (m *CharLM) ParamsView() []float64 { return m.backing }
 
 // SetParams loads a flat parameter vector produced by Params.
-func (m *CharLM) SetParams(p []float64) { unflattenInto(m.paramBlocks(), p) }
+func (m *CharLM) SetParams(p []float64) {
+	if len(p) != len(m.backing) {
+		panic(fmt.Sprintf("nn: CharLM.SetParams length %d != %d", len(p), len(m.backing)))
+	}
+	copy(m.backing, p)
+}
 
 // Grads returns a copy of the accumulated gradients flattened the same way
 // as Params; primarily for gradient-checking tests.
-func (m *CharLM) Grads() []float64 { return flattenCopy(m.gradBlocks()) }
+func (m *CharLM) Grads() []float64 {
+	out := make([]float64, len(m.gradBacking))
+	copy(out, m.gradBacking)
+	return out
+}
 
 func (m *CharLM) ensureSteps(n int) {
 	for len(m.steps) < n {
@@ -205,23 +234,7 @@ func (m *CharLM) Step(lr float64, count int, clip float64) {
 		panic("nn: CharLM.Step with non-positive count")
 	}
 	scale := 1 / float64(count)
-	params := m.paramBlocks()
-	grads := m.gradBlocks()
-	for bi, g := range grads {
-		p := params[bi]
-		for i := range g {
-			gv := g[i] * scale
-			if clip > 0 {
-				if gv > clip {
-					gv = clip
-				} else if gv < -clip {
-					gv = -clip
-				}
-			}
-			p[i] -= lr * gv
-			g[i] = 0
-		}
-	}
+	sgdStepFlat(m.backing, m.gradBacking, lr, scale, clip)
 }
 
 // SeqLoss evaluates the model on seq without touching gradients, returning

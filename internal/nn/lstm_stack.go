@@ -26,16 +26,20 @@ type lstmLayer struct {
 	xs, is, fs, gs, os, cs, tcs, hs [][]float64
 }
 
-func newLSTMLayer(in, hidden int, rng *rand.Rand) *lstmLayer {
-	l := &lstmLayer{
-		in: in, hidden: hidden,
-		wx:  tensor.NewMatrix(4*hidden, in),
-		wh:  tensor.NewMatrix(4*hidden, hidden),
-		bg:  make([]float64, 4*hidden),
-		gWx: tensor.NewMatrix(4*hidden, in),
-		gWh: tensor.NewMatrix(4*hidden, hidden),
-		gBg: make([]float64, 4*hidden),
-	}
+// lstmParamCount is the flat parameter count of one LSTM layer.
+func lstmParamCount(in, hidden int) int {
+	return 4*hidden*in + 4*hidden*hidden + 4*hidden
+}
+
+// newLSTMLayer carves the layer's blocks out of the owning model's
+// contiguous planes via cur, in paramBlocks order.
+func newLSTMLayer(in, hidden int, rng *rand.Rand, cur *flatCursor) *lstmLayer {
+	l := &lstmLayer{in: in, hidden: hidden}
+	p, g := cur.claim(4 * hidden * in)
+	l.wx, l.gWx = tensor.MatrixFrom(4*hidden, in, p), tensor.MatrixFrom(4*hidden, in, g)
+	p, g = cur.claim(4 * hidden * hidden)
+	l.wh, l.gWh = tensor.MatrixFrom(4*hidden, hidden, p), tensor.MatrixFrom(4*hidden, hidden, g)
+	l.bg, l.gBg = cur.claim(4 * hidden)
 	l.wx.XavierInit(rng, in, hidden)
 	l.wh.XavierInit(rng, hidden, hidden)
 	for i := hidden; i < 2*hidden; i++ {
@@ -144,6 +148,11 @@ func (l *lstmLayer) backward(dhs [][]float64) [][]float64 {
 type StackedCharLM struct {
 	vocab, embDim, hidden int
 
+	// backing/gradBacking are the contiguous parameter and gradient
+	// planes all blocks below alias, in paramBlocks order.
+	backing     []float64
+	gradBacking []float64
+
 	emb    *tensor.Matrix
 	layers []*lstmLayer
 	wy     *tensor.Matrix
@@ -160,22 +169,33 @@ func NewStackedCharLM(vocab, embDim, hidden, numLayers int, rng *rand.Rand) *Sta
 	if numLayers < 1 {
 		panic(fmt.Sprintf("nn: StackedCharLM with %d layers", numLayers))
 	}
-	m := &StackedCharLM{
-		vocab: vocab, embDim: embDim, hidden: hidden,
-		emb:  tensor.NewMatrix(vocab, embDim),
-		wy:   tensor.NewMatrix(vocab, hidden),
-		by:   make([]float64, vocab),
-		gEmb: tensor.NewMatrix(vocab, embDim),
-		gWy:  tensor.NewMatrix(vocab, hidden),
-		gBy:  make([]float64, vocab),
-	}
-	m.emb.XavierInit(rng, vocab, embDim)
-	m.wy.XavierInit(rng, hidden, vocab)
+	total := vocab*embDim + vocab*hidden + vocab
 	in := embDim
 	for i := 0; i < numLayers; i++ {
-		m.layers = append(m.layers, newLSTMLayer(in, hidden, rng))
+		total += lstmParamCount(in, hidden)
 		in = hidden
 	}
+	m := &StackedCharLM{
+		vocab: vocab, embDim: embDim, hidden: hidden,
+		backing:     make([]float64, total),
+		gradBacking: make([]float64, total),
+	}
+	// Carve blocks out of the planes in paramBlocks order: embedding,
+	// then each LSTM layer, then the output projection.
+	cur := &flatCursor{params: m.backing, grads: m.gradBacking}
+	p, g := cur.claim(vocab * embDim)
+	m.emb, m.gEmb = tensor.MatrixFrom(vocab, embDim, p), tensor.MatrixFrom(vocab, embDim, g)
+	in = embDim
+	for i := 0; i < numLayers; i++ {
+		m.layers = append(m.layers, newLSTMLayer(in, hidden, rng, cur))
+		in = hidden
+	}
+	p, g = cur.claim(vocab * hidden)
+	m.wy, m.gWy = tensor.MatrixFrom(vocab, hidden, p), tensor.MatrixFrom(vocab, hidden, g)
+	m.by, m.gBy = cur.claim(vocab)
+	cur.done()
+	m.emb.XavierInit(rng, vocab, embDim)
+	m.wy.XavierInit(rng, hidden, vocab)
 	return m
 }
 
@@ -199,14 +219,31 @@ func (m *StackedCharLM) gradBlocks() [][]float64 {
 func (m *StackedCharLM) NumParams() int { return flattenLen(m.paramBlocks()) }
 
 // Params returns a copy of all parameters as one flat vector.
-func (m *StackedCharLM) Params() []float64 { return flattenCopy(m.paramBlocks()) }
+func (m *StackedCharLM) Params() []float64 {
+	out := make([]float64, len(m.backing))
+	copy(out, m.backing)
+	return out
+}
+
+// ParamsView returns the live flat parameter vector — a zero-copy
+// read-only borrow of the contiguous backing plane.
+func (m *StackedCharLM) ParamsView() []float64 { return m.backing }
 
 // SetParams loads a flat parameter vector produced by Params.
-func (m *StackedCharLM) SetParams(p []float64) { unflattenInto(m.paramBlocks(), p) }
+func (m *StackedCharLM) SetParams(p []float64) {
+	if len(p) != len(m.backing) {
+		panic(fmt.Sprintf("nn: StackedCharLM.SetParams length %d != %d", len(p), len(m.backing)))
+	}
+	copy(m.backing, p)
+}
 
 // Grads returns a copy of the accumulated gradients, flattened like
 // Params.
-func (m *StackedCharLM) Grads() []float64 { return flattenCopy(m.gradBlocks()) }
+func (m *StackedCharLM) Grads() []float64 {
+	out := make([]float64, len(m.gradBacking))
+	copy(out, m.gradBacking)
+	return out
+}
 
 // NumLayers reports the LSTM stack depth.
 func (m *StackedCharLM) NumLayers() int { return len(m.layers) }
@@ -293,17 +330,5 @@ func (m *StackedCharLM) Step(lr float64, count int, clip float64) {
 		panic("nn: StackedCharLM.Step with non-positive count")
 	}
 	scale := 1 / float64(count)
-	params := m.paramBlocks()
-	grads := m.gradBlocks()
-	for bi, g := range grads {
-		p := params[bi]
-		for i := range g {
-			gv := g[i] * scale
-			if clip > 0 {
-				gv = clipVal(gv, clip)
-			}
-			p[i] -= lr * gv
-			g[i] = 0
-		}
-	}
+	sgdStepFlat(m.backing, m.gradBacking, lr, scale, clip)
 }

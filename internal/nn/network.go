@@ -7,13 +7,44 @@ import (
 	"github.com/spyker-fl/spyker/internal/tensor"
 )
 
+// rebinder is implemented by parameterized layers that can re-home their
+// parameter and gradient storage into network-owned contiguous arrays.
+// rebind must claim one (param, grad) view pair per ParamBlocks entry, in
+// ParamBlocks order, and adopt the views after moving the current values
+// into them (see adopt). All built-in layers implement it; a network
+// containing a foreign parameterized layer falls back to per-block copy
+// semantics.
+type rebinder interface {
+	rebind(claim func(n int) (param, grad []float64))
+}
+
+// adopt claims a view pair of len(p) and moves the current parameter and
+// gradient values into it; layers assign the returned slices over their
+// old storage.
+func adopt(claim func(int) ([]float64, []float64), p, g []float64) ([]float64, []float64) {
+	np, ng := claim(len(p))
+	copy(np, p)
+	copy(ng, g)
+	return np, ng
+}
+
 // Network is a feed-forward classifier: a stack of layers followed by an
 // implicit softmax-cross-entropy head. It owns the flattening of all layer
 // parameters into a single vector, which is the representation federated
-// aggregation operates on.
+// aggregation operates on. When every parameterized layer supports
+// rebinding (all built-in ones do), the layer blocks are views into one
+// contiguous backing array, so the flat vector exists at all times instead
+// of being materialized per exchange.
 type Network struct {
 	layers  []Layer
 	nParams int
+
+	// backing/gradBacking are the contiguous parameter and gradient
+	// planes the layer blocks alias; nil when a foreign layer forced the
+	// legacy block-by-block representation.
+	backing     []float64
+	gradBacking []float64
+
 	probs   []float64
 	dLogits []float64
 }
@@ -25,10 +56,28 @@ func NewNetwork(layers ...Layer) *Network {
 		panic("nn: NewNetwork needs at least one layer")
 	}
 	n := &Network{layers: layers}
+	contiguous := true
 	for _, l := range layers {
-		for _, blk := range l.ParamBlocks() {
+		blocks := l.ParamBlocks()
+		for _, blk := range blocks {
 			n.nParams += len(blk)
 		}
+		if len(blocks) > 0 {
+			if _, ok := l.(rebinder); !ok {
+				contiguous = false
+			}
+		}
+	}
+	if contiguous && n.nParams > 0 {
+		n.backing = make([]float64, n.nParams)
+		n.gradBacking = make([]float64, n.nParams)
+		cur := &flatCursor{params: n.backing, grads: n.gradBacking}
+		for _, l := range layers {
+			if r, ok := l.(rebinder); ok {
+				r.rebind(cur.claim)
+			}
+		}
+		cur.done()
 	}
 	out := layers[len(layers)-1].OutSize()
 	n.probs = make([]float64, out)
@@ -43,6 +92,10 @@ func (n *Network) NumParams() int { return n.nParams }
 // by layer, block by block.
 func (n *Network) Params() []float64 {
 	out := make([]float64, n.nParams)
+	if n.backing != nil {
+		copy(out, n.backing)
+		return out
+	}
 	i := 0
 	for _, l := range n.layers {
 		for _, blk := range l.ParamBlocks() {
@@ -52,11 +105,27 @@ func (n *Network) Params() []float64 {
 	return out
 }
 
+// ParamsView returns the live flat parameter vector — a zero-copy
+// read-only borrow of the contiguous backing array. Callers must not
+// modify it and must copy whatever they retain across a training step.
+// For a network containing foreign layers (no contiguous backing) it
+// degrades to a Params copy.
+func (n *Network) ParamsView() []float64 {
+	if n.backing != nil {
+		return n.backing
+	}
+	return n.Params()
+}
+
 // SetParams loads a flat parameter vector previously produced by Params
 // (of a network with identical architecture).
 func (n *Network) SetParams(p []float64) {
 	if len(p) != n.nParams {
 		panic(fmt.Sprintf("nn: SetParams length %d != %d", len(p), n.nParams))
+	}
+	if n.backing != nil {
+		copy(n.backing, p)
+		return
 	}
 	i := 0
 	for _, l := range n.layers {
@@ -70,6 +139,10 @@ func (n *Network) SetParams(p []float64) {
 // way as Params; primarily for gradient-checking tests.
 func (n *Network) Grads() []float64 {
 	out := make([]float64, n.nParams)
+	if n.gradBacking != nil {
+		copy(out, n.gradBacking)
+		return out
+	}
 	i := 0
 	for _, l := range n.layers {
 		for _, blk := range l.GradBlocks() {
@@ -117,24 +190,33 @@ func (n *Network) Step(lr float64, batchSize int, clip float64) {
 		panic("nn: Step with non-positive batch size")
 	}
 	scale := 1 / float64(batchSize)
+	if n.backing != nil {
+		sgdStepFlat(n.backing, n.gradBacking, lr, scale, clip)
+		return
+	}
 	for _, l := range n.layers {
 		params := l.ParamBlocks()
 		grads := l.GradBlocks()
 		for bi, g := range grads {
-			p := params[bi]
-			for i := range g {
-				gv := g[i] * scale
-				if clip > 0 {
-					if gv > clip {
-						gv = clip
-					} else if gv < -clip {
-						gv = -clip
-					}
-				}
-				p[i] -= lr * gv
-				g[i] = 0
+			sgdStepFlat(params[bi], g, lr, scale, clip)
+		}
+	}
+}
+
+// sgdStepFlat is the shared SGD inner loop over a flat parameter/gradient
+// pair: p -= lr*clip(g*scale), then g = 0.
+func sgdStepFlat(p, g []float64, lr, scale, clip float64) {
+	for i := range g {
+		gv := g[i] * scale
+		if clip > 0 {
+			if gv > clip {
+				gv = clip
+			} else if gv < -clip {
+				gv = -clip
 			}
 		}
+		p[i] -= lr * gv
+		g[i] = 0
 	}
 }
 
@@ -147,6 +229,10 @@ func CrossEntropyFromLogits(logits []float64, label int) float64 {
 
 // ZeroGrads clears all accumulated gradients without applying them.
 func (n *Network) ZeroGrads() {
+	if n.gradBacking != nil {
+		tensor.Zero(n.gradBacking)
+		return
+	}
 	for _, l := range n.layers {
 		for _, g := range l.GradBlocks() {
 			tensor.Zero(g)

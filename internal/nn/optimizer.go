@@ -130,9 +130,18 @@ func (n *Network) StepWith(opt Optimizer, batchSize int) {
 	if batchSize <= 0 {
 		panic("nn: StepWith with non-positive batch size")
 	}
+	scale := 1 / float64(batchSize)
+	if n.backing != nil {
+		// Contiguous planes: apply directly, no export/import round trip.
+		// Apply consumes (zeroes) the gradients, so no ZeroGrads needed.
+		for i := range n.gradBacking {
+			n.gradBacking[i] *= scale
+		}
+		opt.Apply(n.backing, n.gradBacking)
+		return
+	}
 	params := n.Params()
 	grads := n.Grads()
-	scale := 1 / float64(batchSize)
 	for i := range grads {
 		grads[i] *= scale
 	}

@@ -1,0 +1,110 @@
+// Package paramvec makes the flat model-parameter vector — the unit every
+// federated-learning exchange in this repository moves — a first-class,
+// reusable piece of memory. It provides Vec, a view over a contiguous
+// []float64 with the fused in-place kernels aggregation rules need, and
+// Pool, a size-keyed sync.Pool-backed free-list so hot paths recycle
+// buffers instead of allocating a model-sized slice per message.
+//
+// Every kernel works in place and panics on length mismatch, mirroring the
+// internal/tensor conventions; none of them allocate.
+package paramvec
+
+import "math"
+
+// Vec is a flat parameter (or gradient, or delta) vector. It is an alias
+// view: converting a []float64 to Vec shares storage, so the kernels below
+// mutate the underlying array directly.
+type Vec []float64
+
+// New allocates a zeroed vector of length n.
+func New(n int) Vec { return make(Vec, n) }
+
+// CopyFrom overwrites v with src. Lengths must match.
+func (v Vec) CopyFrom(src []float64) {
+	mustSameLen(len(v), len(src))
+	copy(v, src)
+}
+
+// Zero sets every element to 0.
+func (v Vec) Zero() {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// AxpyInto computes v += alpha*x, the classic saxpy accumulation.
+func (v Vec) AxpyInto(alpha float64, x []float64) {
+	mustSameLen(len(v), len(x))
+	for i := range v {
+		v[i] += alpha * x[i]
+	}
+}
+
+// ScaleAdd computes v = alpha*v + beta*x in one fused pass.
+func (v Vec) ScaleAdd(alpha float64, beta float64, x []float64) {
+	mustSameLen(len(v), len(x))
+	for i := range v {
+		v[i] = alpha*v[i] + beta*x[i]
+	}
+}
+
+// WeightedMergeInto moves v toward x by weight w: v += w*(x - v). This is
+// the staleness-weighted client merge (Alg. 1) and the sigmoid-weighted
+// server merge (Alg. 2) of the Spyker protocol, and the convex-combination
+// step of every baseline aggregation rule. w=0 leaves v unchanged, w=1
+// replaces v with x.
+func (v Vec) WeightedMergeInto(w float64, x []float64) {
+	mustSameLen(len(v), len(x))
+	for i := range v {
+		v[i] += w * (x[i] - v[i])
+	}
+}
+
+// AddScaledDiff computes v += alpha*(x - y) without materializing the
+// difference — the buffered-delta accumulation of FedBuff-style rules.
+func (v Vec) AddScaledDiff(alpha float64, x, y []float64) {
+	mustSameLen(len(v), len(x))
+	mustSameLen(len(v), len(y))
+	for i := range v {
+		v[i] += alpha * (x[i] - y[i])
+	}
+}
+
+// DiffInto computes v = x - y.
+func (v Vec) DiffInto(x, y []float64) {
+	mustSameLen(len(v), len(x))
+	mustSameLen(len(v), len(y))
+	for i := range v {
+		v[i] = x[i] - y[i]
+	}
+}
+
+// L2Norm returns the Euclidean norm of v.
+func (v Vec) L2Norm() float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// ClipNorm rescales v in place so its L2 norm does not exceed max, and
+// returns the pre-clip norm. max <= 0 disables clipping. The scale is
+// applied only when the norm actually exceeds max, so vectors inside the
+// ball are untouched bit-for-bit.
+func (v Vec) ClipNorm(max float64) (norm float64) {
+	norm = v.L2Norm()
+	if max > 0 && norm > max {
+		scale := max / norm
+		for i := range v {
+			v[i] *= scale
+		}
+	}
+	return norm
+}
+
+func mustSameLen(a, b int) {
+	if a != b {
+		panic("paramvec: length mismatch")
+	}
+}

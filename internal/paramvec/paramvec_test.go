@@ -1,0 +1,187 @@
+package paramvec
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestKernels(t *testing.T) {
+	v := Vec{1, 2, 3}
+	v.AxpyInto(2, []float64{1, 1, 1})
+	if v[0] != 3 || v[1] != 4 || v[2] != 5 {
+		t.Fatalf("AxpyInto: %v", v)
+	}
+
+	v = Vec{1, 2, 3}
+	v.ScaleAdd(2, 3, []float64{1, 0, 1})
+	if v[0] != 5 || v[1] != 4 || v[2] != 9 {
+		t.Fatalf("ScaleAdd: %v", v)
+	}
+
+	v = Vec{0, 0}
+	v.WeightedMergeInto(0.25, []float64{4, 8})
+	if v[0] != 1 || v[1] != 2 {
+		t.Fatalf("WeightedMergeInto: %v", v)
+	}
+	v.WeightedMergeInto(1, []float64{7, 7})
+	if v[0] != 7 || v[1] != 7 {
+		t.Fatalf("WeightedMergeInto w=1 must replace: %v", v)
+	}
+
+	v = Vec{1, 1}
+	v.AddScaledDiff(0.5, []float64{5, 3}, []float64{1, 1})
+	if v[0] != 3 || v[1] != 2 {
+		t.Fatalf("AddScaledDiff: %v", v)
+	}
+
+	v = Vec{0, 0}
+	v.DiffInto([]float64{5, 1}, []float64{2, 4})
+	if v[0] != 3 || v[1] != -3 {
+		t.Fatalf("DiffInto: %v", v)
+	}
+
+	v = Vec{3, 4}
+	if n := v.L2Norm(); !almost(n, 5) {
+		t.Fatalf("L2Norm = %v", n)
+	}
+
+	v = Vec{9, 9}
+	v.CopyFrom([]float64{1, 2})
+	if v[0] != 1 || v[1] != 2 {
+		t.Fatalf("CopyFrom: %v", v)
+	}
+	v.Zero()
+	if v[0] != 0 || v[1] != 0 {
+		t.Fatalf("Zero: %v", v)
+	}
+}
+
+func TestClipNorm(t *testing.T) {
+	v := Vec{3, 4} // norm 5
+	if n := v.ClipNorm(10); !almost(n, 5) || v[0] != 3 || v[1] != 4 {
+		t.Fatalf("inside the ball must be untouched: norm=%v v=%v", n, v)
+	}
+	if n := v.ClipNorm(2.5); !almost(n, 5) {
+		t.Fatalf("pre-clip norm = %v", n)
+	}
+	if got := v.L2Norm(); !almost(got, 2.5) {
+		t.Fatalf("post-clip norm = %v", got)
+	}
+	v = Vec{3, 4}
+	v.ClipNorm(0) // disabled
+	if v[0] != 3 || v[1] != 4 {
+		t.Fatalf("ClipNorm(0) must be a no-op: %v", v)
+	}
+}
+
+func TestKernelLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Vec{1, 2}.AxpyInto(1, []float64{1})
+}
+
+func TestPoolRecycles(t *testing.T) {
+	var p Pool
+	v := p.Get(16)
+	if len(v) != 16 {
+		t.Fatalf("Get(16) len = %d", len(v))
+	}
+	if p.Live() != 1 {
+		t.Fatalf("live = %d", p.Live())
+	}
+	v[0] = 42
+	p.Put(v)
+	if p.Live() != 0 {
+		t.Fatalf("live after Put = %d", p.Live())
+	}
+	// sync.Pool may drop items (it always does so with some probability
+	// under -race), so recycling is asserted over repeated round-trips.
+	for i := 0; i < 100 && p.Recycled() == 0; i++ {
+		p.Put(p.Get(16))
+	}
+	if p.Recycled() == 0 {
+		t.Fatalf("no Get was ever served from the free-list")
+	}
+	// Different length -> different class, fresh allocation.
+	u := p.Get(8)
+	if len(u) != 8 {
+		t.Fatalf("Get(8) len = %d", len(u))
+	}
+}
+
+func TestPoolInstrument(t *testing.T) {
+	var p Pool
+	g := &fakeGauge{}
+	c := &fakeCounter{}
+	p.Instrument(g, c)
+	v := p.Get(4)
+	if g.last != 1 {
+		t.Fatalf("gauge after Get = %v", g.last)
+	}
+	p.Put(v)
+	if g.last != 0 {
+		t.Fatalf("gauge after Put = %v", g.last)
+	}
+	for i := 0; i < 100 && c.total == 0; i++ {
+		p.Put(p.Get(4))
+	}
+	if c.total == 0 {
+		t.Fatalf("recycled counter never incremented")
+	}
+}
+
+type fakeGauge struct {
+	mu   sync.Mutex
+	last float64
+}
+
+func (f *fakeGauge) Set(v float64) { f.mu.Lock(); f.last = v; f.mu.Unlock() }
+
+type fakeCounter struct{ total int64 }
+
+func (f *fakeCounter) Add(n int64) { f.total += n }
+
+// TestPoolConcurrent hammers the pool from many goroutines; run under
+// -race this verifies handed-out buffers are never shared.
+func TestPoolConcurrent(t *testing.T) {
+	var p Pool
+	p.Instrument(&fakeGauge{}, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				v := p.Get(256)
+				for j := range v {
+					v[j] = float64(id)
+				}
+				for j := range v {
+					if v[j] != float64(id) {
+						t.Errorf("buffer shared across goroutines")
+						return
+					}
+				}
+				p.Put(v)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if p.Live() != 0 {
+		t.Fatalf("live after drain = %d", p.Live())
+	}
+}
+
+func BenchmarkPoolGetPut(b *testing.B) {
+	var p Pool
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Put(p.Get(25000))
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"github.com/spyker-fl/spyker/internal/obs"
+	"github.com/spyker-fl/spyker/internal/paramvec"
 	"github.com/spyker-fl/spyker/internal/tensor"
 )
 
@@ -24,6 +25,13 @@ type Token struct {
 
 // Outbound is everything a ServerCore needs to talk to the outside world.
 // Implementations route over the discrete-event simulator or over TCP.
+//
+// Borrow contract: the params slice passed to ReplyClient and
+// BroadcastModel is the core's live model vector, valid only for the
+// duration of the call — the core mutates it on the next handler. An
+// implementation that delivers asynchronously (every real transport does)
+// must copy the slice before returning; internal/paramvec pools make that
+// copy allocation-free.
 type Outbound interface {
 	// ReplyClient returns the new server model to client k along with the
 	// model age and the client's next learning rate (Alg. 1 l. 19).
@@ -97,10 +105,13 @@ type ServerCore struct {
 	total   int             // total updates received (for the average)
 
 	// Byzantine-robust clipping state: exponential moving average of the
-	// (post-clip) client delta norms.
+	// (post-clip) client delta norms. deltaScratch is the persistent
+	// model-sized buffer the clip path computes deltas into, so clipping
+	// costs no per-update allocation.
 	deltaNormEMA float64
 	emaReady     bool
 	clipped      int // updates whose delta was clipped
+	deltaScratch paramvec.Vec
 
 	syncsTriggered int
 	syncsJoined    int
@@ -267,7 +278,10 @@ func (s *ServerCore) HandleClientUpdate(k int, params []float64, clientAge float
 			Node: s.cfg.ID, Peer: k, Age: s.age, Stale: staleness,
 		})
 	}
-	s.out.ReplyClient(k, tensor.Clone(s.w), s.age, lr)
+	// Borrow: the Outbound implementation copies if it retains (see the
+	// Outbound contract); handing out the live vector keeps this hot path
+	// allocation-free.
+	s.out.ReplyClient(k, s.w, s.age, lr)
 	s.checkSynchronization()
 }
 
@@ -277,12 +291,17 @@ func (s *ServerCore) HandleClientUpdate(k int, params []float64, clientAge float
 // average delta norm, bounding what any single (possibly malicious)
 // update can do to the model.
 func (s *ServerCore) applyClientDelta(params []float64, weight float64) {
+	w := paramvec.Vec(s.w)
 	if s.cfg.RobustClipFactor <= 0 {
-		tensor.Lerp(s.w, params, weight)
+		w.WeightedMergeInto(weight, params)
 		return
 	}
-	delta := tensor.Sub(params, s.w)
-	norm := tensor.Norm2(delta)
+	if cap(s.deltaScratch) < len(s.w) {
+		s.deltaScratch = paramvec.New(len(s.w))
+	}
+	delta := s.deltaScratch[:len(s.w)]
+	delta.DiffInto(params, s.w)
+	norm := delta.L2Norm()
 	scale := 1.0
 	if s.emaReady {
 		if limit := s.cfg.RobustClipFactor * s.deltaNormEMA; norm > limit && norm > 0 {
@@ -290,7 +309,7 @@ func (s *ServerCore) applyClientDelta(params []float64, weight float64) {
 			s.clipped++
 		}
 	}
-	tensor.AXPY(weight*scale, s.w, delta)
+	w.AxpyInto(weight*scale, delta)
 	// The EMA tracks post-clip norms so attackers cannot inflate the
 	// clipping threshold by flooding oversized updates.
 	post := norm * scale
@@ -371,7 +390,7 @@ func (s *ServerCore) HandleServerModel(j int, params []float64, age float64, bid
 				Node: s.cfg.ID, Peer: obs.NoPeer, Bid: bid, Note: "join",
 			})
 		}
-		s.out.BroadcastModel(tensor.Clone(s.w), s.age, bid)
+		s.out.BroadcastModel(s.w, s.age, bid)
 	}
 	s.serverAgg(j, params, age)
 	if s.hasToken && s.token.Bid == bid {
@@ -413,7 +432,7 @@ func (s *ServerCore) serverAgg(from int, params []float64, remoteAge float64) {
 	ageDrift := remoteAge - s.age
 	w := ServerAggWeight(s.cfg.Phi, s.age, remoteAge)
 	ew := s.cfg.EtaA * w
-	tensor.Lerp(s.w, params, ew)
+	paramvec.Vec(s.w).WeightedMergeInto(ew, params)
 	s.age = (1-ew)*s.age + ew*remoteAge
 	s.ages[s.cfg.ID] = s.age
 	if s.sink.Enabled() {
@@ -460,7 +479,7 @@ func (s *ServerCore) checkSynchronization() {
 				Node: s.cfg.ID, Peer: obs.NoPeer, Bid: bid, Note: "trigger",
 			})
 		}
-		s.out.BroadcastModel(tensor.Clone(s.w), s.age, bid)
+		s.out.BroadcastModel(s.w, s.age, bid)
 	} else if !s.hasToken {
 		if s.age-s.lastAgeBroadcast >= s.cfg.MinAgeGapForAgeBroadcast {
 			s.lastAgeBroadcast = s.age

@@ -107,11 +107,12 @@ type tokenRec struct {
 	next int
 }
 
+// Outbound hands fakes a borrow of the live model, so records snapshot it.
 func (f *fakeOut) ReplyClient(k int, p []float64, age, lr float64) {
-	f.replies = append(f.replies, replyRec{k, p, age, lr})
+	f.replies = append(f.replies, replyRec{k, tensor.Clone(p), age, lr})
 }
 func (f *fakeOut) BroadcastModel(p []float64, age float64, bid int) {
-	f.models = append(f.models, modelRec{p, age, bid})
+	f.models = append(f.models, modelRec{tensor.Clone(p), age, bid})
 }
 func (f *fakeOut) BroadcastAge(age float64) { f.ages = append(f.ages, age) }
 func (f *fakeOut) SendToken(t Token, next int) {

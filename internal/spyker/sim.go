@@ -129,19 +129,37 @@ func (a *Algorithm) Servers() []*ServerCore {
 	return out
 }
 
-// ReplyClient implements Outbound.
+// ReplyClient implements Outbound. params is a borrow of the core's live
+// model (see the Outbound contract), so it is copied into a pooled buffer
+// that the delivery closure returns once the client has consumed it.
 func (s *simServer) ReplyClient(k int, params []float64, age, lr float64) {
 	src := s.env.ServerEndpoint(s.id)
 	dst := s.env.ClientEndpoint(k)
 	c := s.client[k]
+	buf := s.env.Pool.Get(len(params))
+	buf.CopyFrom(params)
 	s.env.Net.Send(src, dst, s.env.ModelBytes, geo.ClientServer, func() {
-		c.HandleModel(params, age, lr)
+		// HandleModel copies the vector into the client model before it
+		// returns (the trained update it schedules is a view of the model,
+		// not of buf), so the buffer can be recycled immediately after.
+		c.HandleModel(buf, age, lr)
+		s.env.Pool.Put(buf)
 	})
 }
 
-// BroadcastModel implements Outbound.
+// BroadcastModel implements Outbound. One pooled copy of the borrowed
+// params is shared by every peer delivery; a countdown (safe because the
+// simulator is single-threaded) returns it after the last peer consumed
+// the model.
 func (s *simServer) BroadcastModel(params []float64, age float64, bid int) {
 	src := s.env.ServerEndpoint(s.id)
+	buf := s.env.Pool.Get(len(params))
+	buf.CopyFrom(params)
+	remaining := len(s.alg.servers) - 1
+	if remaining <= 0 {
+		s.env.Pool.Put(buf)
+		return
+	}
 	for _, peer := range s.alg.servers {
 		if peer.id == s.id {
 			continue
@@ -150,7 +168,10 @@ func (s *simServer) BroadcastModel(params []float64, age float64, bid int) {
 		dst := s.env.ServerEndpoint(p.id)
 		s.env.Net.Send(src, dst, s.env.ModelBytes, geo.ServerServer, func() {
 			p.queue.Submit(s.env.ProcFor(p.id, s.env.Hyper.ProcSpyker), func() {
-				p.core.HandleServerModel(s.id, params, age, bid)
+				p.core.HandleServerModel(s.id, buf, age, bid)
+				if remaining--; remaining == 0 {
+					s.env.Pool.Put(buf)
+				}
 			})
 		})
 	}

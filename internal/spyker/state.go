@@ -36,35 +36,53 @@ type State struct {
 // Snapshot captures the core's full protocol state. The returned State
 // shares no storage with the core.
 func (s *ServerCore) Snapshot() State {
-	st := State{
-		Config:           s.cfg,
-		W:                tensor.Clone(s.w),
-		Age:              s.age,
-		AgePrev:          s.agePrev,
-		Ages:             tensor.Clone(s.ages),
-		OngoingSynchro:   s.ongoingSynchro,
-		Cnt:              make(map[int]int, len(s.cnt)),
-		LastAgeBroadcast: s.lastAgeBroadcast,
-		Updates:          make(map[int]int, len(s.updates)),
-		Total:            s.total,
-		SyncsTriggered:   s.syncsTriggered,
-		SyncsJoined:      s.syncsJoined,
-	}
+	var st State
+	s.SnapshotInto(&st)
+	return st
+}
+
+// SnapshotInto is Snapshot writing into a caller-owned State, reusing its
+// slices and maps — the allocation-free path for periodic checkpointing
+// with a scratch State. The result shares no storage with the core.
+func (s *ServerCore) SnapshotInto(st *State) {
+	st.Config = s.cfg
+	st.W = append(st.W[:0], s.w...)
+	st.Age = s.age
+	st.AgePrev = s.agePrev
+	st.Ages = append(st.Ages[:0], s.ages...)
+	st.OngoingSynchro = s.ongoingSynchro
+	st.LastAgeBroadcast = s.lastAgeBroadcast
+	st.Total = s.total
+	st.SyncsTriggered = s.syncsTriggered
+	st.SyncsJoined = s.syncsJoined
 	if s.token != nil {
-		t := Token{Bid: s.token.Bid, Ages: tensor.Clone(s.token.Ages)}
-		st.Token = &t
+		if st.Token == nil {
+			st.Token = &Token{}
+		}
+		st.Token.Bid = s.token.Bid
+		st.Token.Ages = append(st.Token.Ages[:0], s.token.Ages...)
+	} else {
+		st.Token = nil
 	}
+	st.DidBroadcast = st.DidBroadcast[:0]
 	for bid := range s.didBroadcast {
 		st.DidBroadcast = append(st.DidBroadcast, bid)
 	}
 	sort.Ints(st.DidBroadcast)
+	if st.Cnt == nil {
+		st.Cnt = make(map[int]int, len(s.cnt))
+	}
+	clear(st.Cnt)
 	for k, v := range s.cnt {
 		st.Cnt[k] = v
 	}
+	if st.Updates == nil {
+		st.Updates = make(map[int]int, len(s.updates))
+	}
+	clear(st.Updates)
 	for k, v := range s.updates {
 		st.Updates[k] = v
 	}
-	return st
 }
 
 // RestoreServerCore rebuilds a core from a snapshot, attaching the given

@@ -67,6 +67,23 @@ type Msg struct {
 	Ages   []float64 // token age vector (KindToken)
 }
 
+// Reset clears the message for reuse as a gob decode target. Gob leaves
+// fields absent from the wire untouched, so every field must be zeroed
+// here or a previous frame's value would leak into the next. Params keeps
+// its backing array (truncated to length 0) so repeated decodes on a
+// connection reuse one buffer; Ages is dropped entirely because token
+// receivers retain the decoded slice (spyker.ServerCore.HandleToken
+// stores it), so it must never be overwritten by a later decode.
+func (m *Msg) Reset() {
+	m.Kind = 0
+	m.From = 0
+	m.Params = m.Params[:0]
+	m.Age = 0
+	m.LR = 0
+	m.Bid = 0
+	m.Ages = nil
+}
+
 // MsgWireBytes estimates the payload size of a message in bytes: the
 // float64 vectors dominate, plus a small fixed overhead for the scalar
 // fields and gob framing. It deliberately ignores gob's type-descriptor
@@ -121,15 +138,27 @@ func (c *Conn) Send(m *Msg) error {
 	return nil
 }
 
-// Recv decodes the next message.
+// Recv decodes the next message into a fresh Msg.
 func (c *Conn) Recv() (*Msg, error) {
 	var m Msg
-	if err := c.dec.Decode(&m); err != nil {
+	if err := c.RecvInto(&m); err != nil {
 		return nil, err
 	}
-	c.framesRecv.Add(1)
-	c.bytesRecv.Add(int64(MsgWireBytes(&m)))
 	return &m, nil
+}
+
+// RecvInto decodes the next message into m, reusing m's Params backing
+// array when its capacity suffices — the allocation-free receive path for
+// a long-lived reader loop. m is Reset first, so any Msg (including one
+// holding a previous frame) is a valid target.
+func (c *Conn) RecvInto(m *Msg) error {
+	m.Reset()
+	if err := c.dec.Decode(m); err != nil {
+		return err
+	}
+	c.framesRecv.Add(1)
+	c.bytesRecv.Add(int64(MsgWireBytes(m)))
+	return nil
 }
 
 // Stats reports the connection's cumulative frame/byte accounting. Safe
