@@ -8,7 +8,7 @@
 //
 //	spyker-live -servers 4 -clients 16 -duration 5s
 //	spyker-live -servers 2 -clients 8 -stats-every 1s -trace run.jsonl
-//	spyker-live -debug-addr 127.0.0.1:6060   # expvar + pprof while running
+//	spyker-live -debug-addr 127.0.0.1:6060   # expvar + Prometheus text + pprof
 package main
 
 import (
@@ -78,6 +78,14 @@ func run(servers, clients int, duration time.Duration, seed int64, peerLat, clie
 	}
 	if debugAddr != "" {
 		expvar.Publish("spyker", expvar.Func(func() any { return reg.Snapshot() }))
+		// Prometheus-style plaintext exposition of the same registry, for
+		// scrapers that speak the text format rather than expvar JSON.
+		http.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if err := reg.WritePrometheus(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
 		go func() {
 			// DefaultServeMux already carries /debug/pprof (via the pprof
 			// import) and /debug/vars (via expvar).
@@ -85,7 +93,7 @@ func run(servers, clients int, duration time.Duration, seed int64, peerLat, clie
 				fmt.Fprintf(os.Stderr, "debug server: %v\n", err)
 			}
 		}()
-		fmt.Printf("debug endpoint: http://%s/debug/vars and /debug/pprof\n", debugAddr)
+		fmt.Printf("debug endpoint: http://%s/debug/vars, /debug/metrics and /debug/pprof\n", debugAddr)
 	}
 
 	fmt.Printf("spyker-live: %d TCP servers, %d clients, %s\n", servers, clients, duration)

@@ -1,14 +1,29 @@
-// Command spyker-trace summarizes a protocol event trace written by
-// spyker-sim -trace or spyker-live -trace: per-kind event counts, the
-// staleness histogram of aggregated client updates, per-server model-age
-// timelines, token ring round-trip times, and traffic totals. It can also
-// convert the JSONL trace into a Chrome trace_event file for
-// chrome://tracing or Perfetto.
+// Command spyker-trace analyzes a protocol event trace written by
+// spyker-sim -trace or spyker-live -trace. Its default mode summarizes the
+// trace: per-kind event counts, the staleness histogram of aggregated
+// client updates, per-server model-age timelines, token ring round-trip
+// times, and traffic totals. Two provenance modes reconstruct the causal
+// lineage of every client update from the merged-updates frontier the
+// servers stamp on their events:
+//
+//   - -mode provenance reports, per client update, the origin server,
+//     every server its contribution reached, the broadcast hop and sync
+//     round it arrived through, and the end-to-end propagation latency
+//     distribution across all updates.
+//   - -mode critpath ranks the slowest fully-propagated update journeys
+//     and breaks each down hop by hop, plus a hop-pair frequency table —
+//     the protocol's critical paths.
+//
+// It can also convert the JSONL trace into a Chrome trace_event file for
+// chrome://tracing or Perfetto; update journeys become flow arrows linking
+// the origin merge to every server it reached.
 //
 // Example:
 //
 //	spyker-sim -alg spyker -horizon 20 -trace run.jsonl
 //	spyker-trace run.jsonl
+//	spyker-trace -mode provenance run.jsonl
+//	spyker-trace -mode critpath -top 5 run.jsonl
 //	spyker-trace -chrome run.json run.jsonl
 package main
 
@@ -23,20 +38,22 @@ import (
 
 func main() {
 	chromePath := flag.String("chrome", "", "also convert the trace to a Chrome trace_event file at this path")
+	mode := flag.String("mode", "summary", "analysis mode: summary, provenance, or critpath")
+	top := flag.Int("top", 10, "number of journeys/paths to show in provenance and critpath modes")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: spyker-trace [-chrome out.json] <trace.jsonl>\n")
+		fmt.Fprintf(os.Stderr, "usage: spyker-trace [-mode summary|provenance|critpath] [-top n] [-chrome out.json] <trace.jsonl>\n")
 		fmt.Fprintf(os.Stderr, "       spyker-trace reads stdin when no file is given\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
-	if err := run(flag.Args(), *chromePath); err != nil {
+	if err := run(flag.Args(), *mode, *top, *chromePath); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(paths []string, chromePath string) error {
+func run(paths []string, mode string, top int, chromePath string) error {
 	var in io.Reader = os.Stdin
 	name := "stdin"
 	switch len(paths) {
@@ -61,7 +78,16 @@ func run(paths []string, chromePath string) error {
 		return fmt.Errorf("spyker-trace: %s holds no events", name)
 	}
 
-	obs.Summarize(events).WriteText(os.Stdout)
+	switch mode {
+	case "summary":
+		obs.Summarize(events).WriteText(os.Stdout)
+	case "provenance":
+		obs.BuildLineage(events).WriteProvenance(os.Stdout, top)
+	case "critpath":
+		obs.BuildLineage(events).WriteCritPath(os.Stdout, top)
+	default:
+		return fmt.Errorf("spyker-trace: unknown mode %q (want summary, provenance, or critpath)", mode)
+	}
 
 	if chromePath != "" {
 		f, err := os.Create(chromePath)

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const validTrace = `{"t":1,"kind":"client-update","node":0,"peer":7,"uid":8000000001,"front":[1,0]}
+{"t":2,"kind":"server-agg","node":1,"peer":0,"bid":1,"front":[1,0]}
+`
+
+func TestRunRejectsMalformedTrace(t *testing.T) {
+	// Garbage anywhere in the file must fail the whole invocation — no
+	// silent summary of the readable prefix.
+	for _, content := range []string{
+		"not json\n",
+		validTrace + "garbage tail\n",
+		validTrace + "{}\n", // valid JSON but not an event
+	} {
+		p := writeTemp(t, content)
+		if err := run([]string{p}, "summary", 5, ""); err == nil {
+			t.Errorf("malformed trace %q must error", content)
+		}
+	}
+}
+
+func TestRunRejectsEmptyTrace(t *testing.T) {
+	p := writeTemp(t, "")
+	if err := run([]string{p}, "summary", 5, ""); err == nil {
+		t.Error("empty trace must error")
+	}
+}
+
+func TestRunRejectsUnknownMode(t *testing.T) {
+	p := writeTemp(t, validTrace)
+	if err := run([]string{p}, "nonsense", 5, ""); err == nil {
+		t.Error("unknown mode must error")
+	}
+}
+
+func TestRunModes(t *testing.T) {
+	p := writeTemp(t, validTrace)
+	for _, mode := range []string{"summary", "provenance", "critpath"} {
+		if err := run([]string{p}, mode, 5, ""); err != nil {
+			t.Errorf("mode %s failed on a valid trace: %v", mode, err)
+		}
+	}
+}
+
+func TestRunChromeExport(t *testing.T) {
+	p := writeTemp(t, validTrace)
+	out := filepath.Join(t.TempDir(), "chrome.json")
+	if err := run([]string{p}, "summary", 5, out); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := os.Stat(out); err != nil || st.Size() == 0 {
+		t.Fatalf("chrome export missing or empty: %v", err)
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"github.com/spyker-fl/spyker/internal/fl"
 	"github.com/spyker-fl/spyker/internal/geo"
+	"github.com/spyker-fl/spyker/internal/obs"
 	"github.com/spyker-fl/spyker/internal/paramvec"
 	"github.com/spyker-fl/spyker/internal/tensor"
 )
@@ -66,7 +67,7 @@ func (f *FedAsync) Build(env *fl.Env) error {
 			Env:   env,
 			Spec:  spec,
 			Model: env.NewModel(env.Seed + int64(1000+ci)),
-			Deliver: func(clientID int, update []float64, meta any) {
+			Deliver: func(clientID int, update []float64, meta any, _ obs.UID) {
 				ver, ok := meta.(int)
 				if !ok {
 					panic(fmt.Sprintf("baselines: fedasync meta %T is not a version", meta))

@@ -6,6 +6,7 @@ import (
 
 	"github.com/spyker-fl/spyker/internal/fl"
 	"github.com/spyker-fl/spyker/internal/geo"
+	"github.com/spyker-fl/spyker/internal/obs"
 	"github.com/spyker-fl/spyker/internal/paramvec"
 	"github.com/spyker-fl/spyker/internal/tensor"
 )
@@ -68,7 +69,7 @@ func (f *FedAvg) Build(env *fl.Env) error {
 			Env:   env,
 			Spec:  spec,
 			Model: env.NewModel(env.Seed + int64(1000+ci)),
-			Deliver: func(clientID int, update []float64, _ any) {
+			Deliver: func(clientID int, update []float64, _ any, _ obs.UID) {
 				// Processing one received client model costs the paper's
 				// Tab. 3 FedAvg aggregation delay; the per-round weighted
 				// average itself is then cheap. With full participation

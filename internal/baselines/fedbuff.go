@@ -5,6 +5,7 @@ import (
 
 	"github.com/spyker-fl/spyker/internal/fl"
 	"github.com/spyker-fl/spyker/internal/geo"
+	"github.com/spyker-fl/spyker/internal/obs"
 	"github.com/spyker-fl/spyker/internal/paramvec"
 	"github.com/spyker-fl/spyker/internal/tensor"
 )
@@ -65,7 +66,7 @@ func (f *FedBuff) Build(env *fl.Env) error {
 			Env:   env,
 			Spec:  spec,
 			Model: env.NewModel(env.Seed + int64(1000+ci)),
-			Deliver: func(clientID int, update []float64, meta any) {
+			Deliver: func(clientID int, update []float64, meta any, _ obs.UID) {
 				ver, _ := meta.(int)
 				s.queue.Submit(env.Hyper.ProcFedAsync, func() {
 					s.handleUpdate(clientID, update, ver, f.params)

@@ -3,6 +3,7 @@ package baselines
 import (
 	"github.com/spyker-fl/spyker/internal/fl"
 	"github.com/spyker-fl/spyker/internal/geo"
+	"github.com/spyker-fl/spyker/internal/obs"
 	"github.com/spyker-fl/spyker/internal/paramvec"
 	"github.com/spyker-fl/spyker/internal/tensor"
 )
@@ -89,7 +90,7 @@ func (h *HierFAVG) Build(env *fl.Env) error {
 				Env:   env,
 				Spec:  spec,
 				Model: env.NewModel(env.Seed + int64(1000+ci)),
-				Deliver: func(clientID int, update []float64, _ any) {
+				Deliver: func(clientID int, update []float64, _ any, _ obs.UID) {
 					// Each received client model costs the Tab. 3 HierFAVG
 					// aggregation delay on the edge server's queue.
 					edge.queue.Submit(env.ProcFor(edge.id, env.Hyper.ProcHier), func() {

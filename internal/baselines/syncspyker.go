@@ -5,6 +5,7 @@ import (
 
 	"github.com/spyker-fl/spyker/internal/fl"
 	"github.com/spyker-fl/spyker/internal/geo"
+	"github.com/spyker-fl/spyker/internal/obs"
 	"github.com/spyker-fl/spyker/internal/paramvec"
 	"github.com/spyker-fl/spyker/internal/spyker"
 	"github.com/spyker-fl/spyker/internal/tensor"
@@ -86,7 +87,7 @@ func (s *SyncSpyker) Build(env *fl.Env) error {
 				Env:   env,
 				Spec:  spec,
 				Model: env.NewModel(env.Seed + int64(1000+ci)),
-				Deliver: func(clientID int, update []float64, meta any) {
+				Deliver: func(clientID int, update []float64, meta any, _ obs.UID) {
 					age, ok := meta.(float64)
 					if !ok {
 						panic(fmt.Sprintf("baselines: sync-spyker meta %T is not an age", meta))

@@ -14,10 +14,10 @@ import (
 // below measure the aggregation math itself, not a transport.
 type nopOutbound struct{}
 
-func (nopOutbound) ReplyClient(int, []float64, float64, float64) {}
-func (nopOutbound) BroadcastModel([]float64, float64, int)       {}
-func (nopOutbound) BroadcastAge(float64)                         {}
-func (nopOutbound) SendToken(t spyker.Token, next int)           {}
+func (nopOutbound) ReplyClient(int, []float64, float64, float64)    {}
+func (nopOutbound) BroadcastModel([]float64, float64, int, []int64) {}
+func (nopOutbound) BroadcastAge(float64)                            {}
+func (nopOutbound) SendToken(t spyker.Token, next int)              {}
 
 func benchModel(b *testing.B) fl.Model {
 	b.Helper()

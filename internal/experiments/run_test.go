@@ -115,4 +115,31 @@ func TestTracingDoesNotPerturbSimulation(t *testing.T) {
 	if v, ok := traced.Metrics.Snapshot()[obs.MetricUpdates].(int64); !ok || v == 0 {
 		t.Errorf("derived metric %s missing from registry", obs.MetricUpdates)
 	}
+
+	// Provenance: the traced run's events must reconstruct full update
+	// lineage — the frontier and UIDs are protocol state the events only
+	// observe, so tracing them cannot have perturbed the byte-identical
+	// schedules verified above.
+	lin := obs.BuildLineage(tracer.Events())
+	if lin.Untracked != 0 {
+		t.Errorf("%d untracked updates in an instrumented run", lin.Untracked)
+	}
+	if len(lin.Updates) == 0 {
+		t.Fatal("traced run reconstructed no update lineage")
+	}
+	full := 0
+	for _, u := range lin.Updates {
+		if !u.UID.IsUpdate() {
+			t.Fatalf("update lineage without client-minted UID: %+v", u)
+		}
+		if u.ReachedAll(setup.NumServers) {
+			full++
+			if lat := u.PropagationLatency(); lat <= 0 {
+				t.Errorf("%s fully propagated with non-positive latency %v", u.Name(), lat)
+			}
+		}
+	}
+	if full == 0 {
+		t.Error("no update propagated to every server over 60 virtual seconds")
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"github.com/spyker-fl/spyker/internal/geo"
+	"github.com/spyker-fl/spyker/internal/obs"
 )
 
 // SimClient is the simulated client actor shared by the asynchronous
@@ -17,10 +18,14 @@ type SimClient struct {
 	Spec  ClientSpec
 	Model Model
 	// Deliver hands the trained parameters to the server actor once the
-	// update message has arrived there.
-	Deliver func(clientID int, update []float64, meta any)
+	// update message has arrived there. uid is the causal trace context
+	// minted for this update at send time (obs.UpdateUID) — Spyker threads
+	// it into the core so provenance events link client, message, and
+	// merge; algorithms without lineage tracking ignore it.
+	Deliver func(clientID int, update []float64, meta any, uid obs.UID)
 
 	attackRNG *rand.Rand
+	sent      int64 // updates sent, the per-client UID sequence
 }
 
 // tamper replaces an honest update with the configured attack payload.
@@ -76,11 +81,17 @@ func (c *SimClient) HandleModel(params []float64, meta any, lr float64) {
 	start := c.Spec.pauseUntil(now)
 	sendAt := c.Spec.pauseUntil(start + c.Spec.TrainDelay)
 
+	// Mint the update's causal ID at its origin. The counter advances
+	// unconditionally — trace context is plain state, so enabling tracing
+	// never changes the schedule.
+	c.sent++
+	uid := obs.UpdateUID(c.Spec.ID, c.sent)
+
 	src := c.Env.ClientEndpoint(c.Spec.ID)
 	dst := c.Env.ServerEndpoint(c.Spec.Server)
 	c.Env.Sim.Schedule(sendAt-now, func() {
-		c.Env.Net.Send(src, dst, c.Env.ClientUpdateBytes(), geo.ClientServer, func() {
-			c.Deliver(c.Spec.ID, update, meta)
+		c.Env.Net.SendTraced(src, dst, c.Env.ClientUpdateBytes(), geo.ClientServer, uid, func() {
+			c.Deliver(c.Spec.ID, update, meta, uid)
 		})
 	})
 }

@@ -5,6 +5,7 @@ import (
 
 	"github.com/spyker-fl/spyker/internal/compress"
 	"github.com/spyker-fl/spyker/internal/geo"
+	"github.com/spyker-fl/spyker/internal/obs"
 	"github.com/spyker-fl/spyker/internal/simulation"
 )
 
@@ -51,7 +52,7 @@ func TestSimClientTrainsAndDelivers(t *testing.T) {
 	var deliveredAt float64
 	c := &SimClient{
 		Env: env, Spec: env.Clients[0], Model: model,
-		Deliver: func(id int, update []float64, meta any) {
+		Deliver: func(id int, update []float64, meta any, _ obs.UID) {
 			gotUpdate, gotMeta = update, meta
 			deliveredAt = sim.Now()
 		},
@@ -79,7 +80,7 @@ func TestSimClientAbsencePostponesReply(t *testing.T) {
 	var deliveredAt float64
 	c := &SimClient{
 		Env: env, Spec: env.Clients[0], Model: &echoModel{params: []float64{0}},
-		Deliver: func(int, []float64, any) { deliveredAt = sim.Now() },
+		Deliver: func(int, []float64, any, obs.UID) { deliveredAt = sim.Now() },
 	}
 	c.HandleModel([]float64{1}, nil, 0.05)
 	sim.Run(10)
@@ -96,7 +97,7 @@ func TestSimClientCodecRoundtripsUpdate(t *testing.T) {
 	c := &SimClient{
 		Env: env, Spec: env.Clients[0],
 		Model: &echoModel{params: []float64{0, 0}},
-		Deliver: func(_ int, update []float64, _ any) {
+		Deliver: func(_ int, update []float64, _ any, _ obs.UID) {
 			got = update
 		},
 	}

@@ -190,6 +190,16 @@ type Endpoint struct {
 // from src to dst: latency + size/bandwidth, never before a previously
 // sent message on the same directed link (FIFO).
 func (n *Network) Send(src, dst Endpoint, size int, kind Traffic, deliver func()) {
+	n.SendTraced(src, dst, size, kind, 0, deliver)
+}
+
+// SendTraced is Send carrying a causal trace context: uid is the ID of
+// the update or broadcast riding in the message (obs.UID; zero for
+// untraced messages) and is stamped on both the msg-send and the msg-recv
+// event, so a message's two endpoints link into one journey across the
+// trace. Scheduling is identical to Send — trace context never perturbs
+// delivery.
+func (n *Network) SendTraced(src, dst Endpoint, size int, kind Traffic, uid obs.UID, deliver func()) {
 	if size < 0 {
 		panic(fmt.Sprintf("geo: negative message size %d", size))
 	}
@@ -205,13 +215,13 @@ func (n *Network) Send(src, dst Endpoint, size int, kind Traffic, deliver func()
 	if n.sink.Enabled() {
 		n.sink.Emit(obs.Event{
 			Time: n.sim.Now(), Kind: obs.KindMsgSend,
-			Node: src.ID, Peer: dst.ID, Bytes: size,
+			Node: src.ID, Peer: dst.ID, Bytes: size, UID: uid,
 		})
 		inner := deliver
 		deliver = func() {
 			n.sink.Emit(obs.Event{
 				Time: n.sim.Now(), Kind: obs.KindMsgRecv,
-				Node: dst.ID, Peer: src.ID, Bytes: size,
+				Node: dst.ID, Peer: src.ID, Bytes: size, UID: uid,
 			})
 			inner()
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/spyker-fl/spyker/internal/fl"
+	"github.com/spyker-fl/spyker/internal/obs"
 	"github.com/spyker-fl/spyker/internal/transport"
 )
 
@@ -53,11 +54,15 @@ func (c *Client) Run(serverAddr string) error {
 			c.Model.SetParams(in.Params)
 			c.Model.Train(c.Shard, c.Epochs, in.LR)
 			c.updates++
+			// Mint the update's causal ID at its origin — the same scheme
+			// the simulator uses, so a live trace and a sim trace yield the
+			// same lineage structure.
 			out = transport.Msg{
 				Kind:   transport.KindClientUpdate,
 				From:   c.ID,
 				Params: c.Model.ParamsView(),
 				Age:    in.Age,
+				Trace:  transport.Trace{UID: obs.UpdateUID(c.ID, int64(c.updates))},
 			}
 			if err := conn.Send(&out); err != nil {
 				return nil

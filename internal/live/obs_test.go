@@ -88,6 +88,67 @@ func TestLiveClusterObservability(t *testing.T) {
 	if !strings.Contains(statsBuf.String(), "server 0:") || !strings.Contains(statsBuf.String(), "server 1:") {
 		t.Errorf("stats log missing per-server lines:\n%s", statsBuf.String())
 	}
+
+	// Causal provenance: live traces must reconstruct the same lineage
+	// structure as simulator traces. Every client-update event carries a
+	// client-minted UID and a frontier, and at least one update's
+	// influence must have propagated to the other server via a traced
+	// broadcast hop.
+	for _, e := range events {
+		if e.Kind == obs.KindClientUpdate {
+			if !e.UID.IsUpdate() {
+				t.Fatalf("client-update event without update UID: %+v", e)
+			}
+			if len(e.Front) == 0 {
+				t.Fatalf("client-update event without frontier: %+v", e)
+			}
+		}
+	}
+	lin := obs.BuildLineage(events)
+	if lin.Untracked != 0 {
+		t.Errorf("%d untracked updates in a fully instrumented live run", lin.Untracked)
+	}
+	if len(lin.Updates) == 0 {
+		t.Fatal("live trace reconstructed no update lineage")
+	}
+	var propagated *obs.UpdateLineage
+	for _, u := range lin.Updates {
+		if u.ReachedAll(2) {
+			propagated = u
+			break
+		}
+	}
+	if propagated == nil {
+		t.Fatal("no update propagated across servers in the live trace")
+	}
+	a := propagated.Arrivals[0]
+	// Each server stamps events with its own start epoch; servers are
+	// created sub-millisecond apart, so allow 10ms of clock skew.
+	if a.Server == propagated.Origin || a.Time < propagated.Merged-0.01 {
+		t.Errorf("implausible arrival %+v for journey %+v", a, propagated)
+	}
+	if chain := propagated.HopChain(a.Server); len(chain) == 0 {
+		t.Errorf("no hop chain to server %d for %s", a.Server, propagated.Name())
+	}
+
+	// The per-link queueing-delay histograms must have matched send/recv
+	// pairs on at least one server-server link.
+	matched := false
+	for i := 0; i < 2 && !matched; i++ {
+		for j := 0; j < 2; j++ {
+			if i == j {
+				continue
+			}
+			h := reg.Histogram(obs.LinkDelayMetric(obs.ServerNode+i, obs.ServerNode+j), nil)
+			if h.Count() > 0 {
+				matched = true
+				break
+			}
+		}
+	}
+	if !matched {
+		t.Error("no link-delay histogram filled for any server-server link")
+	}
 }
 
 // TestCheckpointEmitsEvent verifies that persisting a server snapshot

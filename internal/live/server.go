@@ -204,7 +204,8 @@ func (s *Server) noteSend(remote int, m *transport.Msg) {
 	if s.sink.Enabled() {
 		s.sink.Emit(obs.Event{
 			Time: s.clock(), Kind: obs.KindMsgSend,
-			Node: obs.ServerNode + s.ID, Peer: remote, Bytes: size, Note: m.Kind.String(),
+			Node: obs.ServerNode + s.ID, Peer: remote, Bytes: size,
+			Note: m.Kind.String(), UID: m.Trace.UID,
 		})
 	}
 }
@@ -225,7 +226,8 @@ func (s *Server) noteRecv(remote int, m *transport.Msg) {
 	if s.sink.Enabled() {
 		s.sink.Emit(obs.Event{
 			Time: s.clock(), Kind: obs.KindMsgRecv,
-			Node: obs.ServerNode + s.ID, Peer: remote, Bytes: size, Note: m.Kind.String(),
+			Node: obs.ServerNode + s.ID, Peer: remote, Bytes: size,
+			Note: m.Kind.String(), UID: m.Trace.UID,
 		})
 	}
 }
@@ -414,11 +416,11 @@ func (s *Server) dispatch(m *transport.Msg) {
 	switch m.Kind {
 	case transport.KindClientUpdate:
 		s.noteRecv(m.From, m)
-		s.core.HandleClientUpdate(m.From, m.Params, m.Age)
+		s.core.HandleClientUpdateTraced(m.From, m.Params, m.Age, m.Trace.UID)
 		s.updates.Add(1)
 	case transport.KindServerModel:
 		s.noteRecv(obs.ServerNode+m.From, m)
-		s.core.HandleServerModel(m.From, m.Params, m.Age, m.Bid)
+		s.core.HandleServerModelTraced(m.From, m.Params, m.Age, m.Bid, m.Trace.Front)
 	case transport.KindAge:
 		s.noteRecv(obs.ServerNode+m.From, m)
 		s.core.HandleAge(m.From, m.Age)
@@ -451,8 +453,13 @@ func (o *serverOutbound) ReplyClient(k int, params []float64, age, lr float64) {
 	}
 }
 
-func (o *serverOutbound) BroadcastModel(params []float64, age float64, bid int) {
+func (o *serverOutbound) BroadcastModel(params []float64, age float64, bid int, front []int64) {
 	s := (*Server)(o)
+	// front is a borrow of the core's live frontier and the outboxes encode
+	// asynchronously, so snapshot it once here; the copy is shared by every
+	// frame (outboxes only read it for gob encoding).
+	frontCopy := append([]int64(nil), front...)
+	uid := obs.RoundUID(o.ID, bid)
 	for id, p := range o.peers {
 		if p == nil || id == o.ID {
 			continue
@@ -464,6 +471,7 @@ func (o *serverOutbound) BroadcastModel(params []float64, age float64, bid int) 
 		m := &transport.Msg{
 			Kind: transport.KindServerModel, From: o.ID,
 			Params: buf, Age: age, Bid: bid,
+			Trace: transport.Trace{UID: uid, Front: frontCopy},
 		}
 		s.noteSend(obs.ServerNode+id, m)
 		p.enqueueRelease(m, func() { s.pool.Put(buf) })
@@ -485,6 +493,7 @@ func (o *serverOutbound) SendToken(t spyker.Token, next int) {
 	if p := o.peers[next]; p != nil {
 		m := &transport.Msg{
 			Kind: transport.KindToken, From: o.ID, Bid: t.Bid, Ages: t.Ages,
+			Trace: transport.Trace{UID: obs.RoundUID(o.ID, t.Bid)},
 		}
 		(*Server)(o).noteSend(obs.ServerNode+next, m)
 		p.enqueue(m)

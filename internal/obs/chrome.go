@@ -16,7 +16,10 @@ type chromeEvent struct {
 	TS    float64        `json:"ts"` // microseconds
 	PID   int            `json:"pid"`
 	TID   int            `json:"tid"`
-	Scope string         `json:"s,omitempty"` // instant-event scope
+	Scope string         `json:"s,omitempty"`  // instant-event scope
+	ID    string         `json:"id,omitempty"` // flow-event binding ID
+	Cat   string         `json:"cat,omitempty"`
+	BP    string         `json:"bp,omitempty"` // flow binding point
 	Args  map[string]any `json:"args,omitempty"`
 }
 
@@ -30,7 +33,12 @@ type chromeEvent struct {
 //   - ClientUpdate and ServerAgg additionally drive an "age" counter
 //     track per node, giving the per-server model-age timeline;
 //   - everything else becomes thread-scoped instant events carrying its
-//     payload in args.
+//     payload in args;
+//   - for traces carrying causal provenance (Event.Front, see
+//     lineage.go), every update journey becomes a flow: a flow-start at
+//     the origin merge, flow steps at each server its influence reaches,
+//     so chrome://tracing draws arrows from server to server along the
+//     synchronization rounds that carried the update.
 //
 // Event times (seconds, virtual or wall) map to microseconds.
 func WriteChromeTrace(w io.Writer, events []Event) error {
@@ -96,6 +104,9 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 			if e.Bid != 0 {
 				args["bid"] = e.Bid
 			}
+			if e.UID != 0 {
+				args["uid"] = e.UID.String()
+			}
 			if err := emit(chromeEvent{
 				Name: e.Kind.String(), Phase: "i",
 				TS: ts, PID: e.Node, TID: e.Node, Scope: "t",
@@ -105,6 +116,41 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 			}
 		}
 	}
+
+	// Flow arrows for every reconstructable update journey: start at the
+	// origin merge, one step per server reached, the last hop ends the
+	// flow. The binding ID keys all segments of one journey together.
+	lin := BuildLineage(events)
+	for _, u := range lin.Updates {
+		if len(u.Arrivals) == 0 {
+			continue
+		}
+		name := "update " + u.Name()
+		id := fmt.Sprintf("%d:%d", u.Origin, u.Seq)
+		if err := emit(chromeEvent{
+			Name: name, Phase: "s", Cat: "provenance", ID: id,
+			TS: u.Merged * 1e6, PID: u.Origin, TID: u.Origin,
+			Args: map[string]any{"client": u.Client},
+		}); err != nil {
+			return err
+		}
+		for i, a := range u.Arrivals {
+			phase := "t"
+			ce := chromeEvent{
+				Name: name, Phase: phase, Cat: "provenance", ID: id,
+				TS: a.Time * 1e6, PID: a.Server, TID: a.Server,
+				Args: map[string]any{"via": a.Via, "bid": a.Bid},
+			}
+			if i == len(u.Arrivals)-1 {
+				ce.Phase = "f"
+				ce.BP = "e"
+			}
+			if err := emit(ce); err != nil {
+				return err
+			}
+		}
+	}
+
 	if _, err := bw.WriteString("\n],\"displayTimeUnit\":\"ms\"}\n"); err != nil {
 		return err
 	}

@@ -114,6 +114,13 @@ func (k *EventKind) UnmarshalJSON(b []byte) error {
 // on Kind (see the kind constants). Node and Peer are node IDs in the
 // emitting runtime's ID space; Peer is NoPeer when there is no other
 // party.
+//
+// UID and Front are the causal-provenance extension (see spans.go and
+// lineage.go): UID is the trace context riding with the message or update
+// the event belongs to, and Front is the emitting server's merged-updates
+// frontier — a vector clock, indexed by origin server, of how many client
+// updates are incorporated in its model. Both are optional; traces written
+// before the extension load with them zero.
 type Event struct {
 	Time  float64   `json:"t"`
 	Kind  EventKind `json:"kind"`
@@ -124,6 +131,8 @@ type Event struct {
 	Bytes int       `json:"bytes,omitempty"`
 	Bid   int       `json:"bid,omitempty"`
 	Note  string    `json:"note,omitempty"`
+	UID   UID       `json:"uid,omitempty"`
+	Front []int64   `json:"front,omitempty"`
 }
 
 // NoPeer marks events without a counterparty.

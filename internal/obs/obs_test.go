@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -108,9 +109,11 @@ func TestTracerConcurrentEmit(t *testing.T) {
 func TestJSONLRoundtrip(t *testing.T) {
 	tr := NewTracer(16)
 	want := []Event{
-		{Time: 0.5, Kind: KindClientUpdate, Node: 1, Peer: 7, Age: 3, Stale: 1.5},
+		{Time: 0.5, Kind: KindClientUpdate, Node: 1, Peer: 7, Age: 3, Stale: 1.5,
+			UID: UpdateUID(7, 12), Front: []int64{3, 12, 0}},
 		{Time: 1.25, Kind: KindTokenPass, Node: 0, Peer: 1, Bid: 4},
-		{Time: 2, Kind: KindMsgSend, Node: 1_000_000, Peer: 3, Bytes: 4096},
+		{Time: 2, Kind: KindMsgSend, Node: 1_000_000, Peer: 3, Bytes: 4096, UID: RoundUID(0, 4)},
+		{Time: 2.5, Kind: KindServerAgg, Node: 2, Peer: 0, Bid: 4, Front: []int64{3, 12, 1}},
 		{Time: 3, Kind: KindSyncStart, Node: 2, Peer: NoPeer, Bid: 5, Note: "trigger"},
 	}
 	for _, e := range want {
@@ -128,7 +131,7 @@ func TestJSONLRoundtrip(t *testing.T) {
 		t.Fatalf("read %d events, want %d", len(got), len(want))
 	}
 	for i := range want {
-		if got[i] != want[i] {
+		if !reflect.DeepEqual(got[i], want[i]) {
 			t.Fatalf("event %d: got %+v, want %+v", i, got[i], want[i])
 		}
 	}
@@ -145,5 +148,52 @@ func TestReadJSONLSkipsBlankAndRejectsGarbage(t *testing.T) {
 	}
 	if _, err := ReadJSONL(strings.NewReader("not json\n")); err == nil {
 		t.Fatal("garbage line must error")
+	}
+}
+
+func TestReadJSONLRejectsNonEventJSON(t *testing.T) {
+	// Valid JSON that is not a protocol event must fail loudly, not decode
+	// to a zero Event and silently dilute the analysis.
+	for _, in := range []string{"{}\n", "null\n", `{"foo": 1}` + "\n"} {
+		if _, err := ReadJSONL(strings.NewReader(in)); err == nil {
+			t.Fatalf("non-event line %q must error", in)
+		}
+	}
+	// A malformed line after valid ones must still fail (no silent
+	// prefix summarization).
+	in := `{"t":1,"kind":"client-update","node":0,"peer":1}` + "\n{}\n"
+	if _, err := ReadJSONL(strings.NewReader(in)); err == nil {
+		t.Fatal("malformed suffix must error")
+	}
+}
+
+// TestReadJSONLForwardCompat pins the on-disk format of a pre-provenance
+// trace: events without uid/front fields must load, summarize, and build
+// an (untracked) lineage without error.
+func TestReadJSONLForwardCompat(t *testing.T) {
+	old := `{"t":0.5,"kind":"client-update","node":0,"peer":3,"age":2,"stale":1}
+{"t":1,"kind":"msg-send","node":0,"peer":1,"bytes":128}
+{"t":1.5,"kind":"server-agg","node":1,"peer":0,"bid":1}
+`
+	evs, err := ReadJSONL(strings.NewReader(old))
+	if err != nil {
+		t.Fatalf("legacy trace failed to load: %v", err)
+	}
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	for _, e := range evs {
+		if e.UID != 0 || e.Front != nil {
+			t.Fatalf("legacy event grew trace context: %+v", e)
+		}
+	}
+	var b bytes.Buffer
+	Summarize(evs).WriteText(&b)
+	if b.Len() == 0 {
+		t.Fatal("legacy trace did not summarize")
+	}
+	l := BuildLineage(evs)
+	if len(l.Updates) != 0 || l.Untracked != 1 {
+		t.Fatalf("legacy lineage: %d updates, %d untracked", len(l.Updates), l.Untracked)
 	}
 }

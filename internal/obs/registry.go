@@ -261,12 +261,24 @@ const (
 	MetricCheckpoints   = "live.checkpoints"
 	MetricSimEvents     = "sim.events_processed"
 	MetricSimQueueDepth = "sim.queue_depth"
+	// MetricLinkUnmatched counts msg-recv events with no pending msg-send
+	// on their link (one-sided instrumentation, ring-buffer loss) plus
+	// sends evicted from an over-full pending queue.
+	MetricLinkUnmatched = "net.link_delay_unmatched"
 )
+
+// LinkDelayMetric names the per-link delay histogram derived from matched
+// msg-send/msg-recv pairs. src and dst are node IDs in the trace's ID
+// space (servers carry the ServerNode offset).
+func LinkDelayMetric(src, dst int) string {
+	return fmt.Sprintf("net.link_delay_s.%s->%s", NodeName(src), NodeName(dst))
+}
 
 // MetricsSink bridges the event stream into a Registry, so every runtime
 // that traces also gets counters/histograms for free: updates aggregated,
-// staleness distribution, sync count and duration, token passes, and
-// message/byte totals.
+// staleness distribution, sync count and duration, token passes,
+// message/byte totals, and a per-link queueing-delay histogram derived
+// from matching each msg-recv to its msg-send (FIFO per directed link).
 type MetricsSink struct {
 	updates     *Counter
 	serverAggs  *Counter
@@ -279,9 +291,58 @@ type MetricsSink struct {
 	bytesRecv   *Counter
 	staleness   *Histogram
 	syncDur     *Histogram
+	unmatched   *Counter
+	reg         *Registry
 
 	mu        sync.Mutex
 	syncStart map[int]float64 // node -> time of its open sync round
+	links     map[linkKey]*linkState
+}
+
+// linkKey identifies a directed link between two trace node IDs.
+type linkKey struct{ src, dst int }
+
+// maxPendingSends bounds the per-link queue of unmatched send times. The
+// live runtime only instruments the server side, so server->client sends
+// never see a matching recv; the cap keeps one-sided links from growing
+// without bound (evictions count as unmatched).
+const maxPendingSends = 1024
+
+// linkState matches msg-send to msg-recv on one directed link. Links are
+// FIFO in both runtimes, so matching is a queue: the oldest pending send
+// pairs with the next recv.
+type linkState struct {
+	pending []float64 // send times awaiting their recv
+	head    int
+	hist    *Histogram
+}
+
+func (ls *linkState) push(t float64) (evicted bool) {
+	if len(ls.pending)-ls.head >= maxPendingSends {
+		ls.head++ // evict the oldest pending send
+		evicted = true
+	}
+	// Compact once the consumed prefix dominates the slice.
+	if ls.head > 0 && ls.head*2 >= len(ls.pending) {
+		n := copy(ls.pending, ls.pending[ls.head:])
+		ls.pending = ls.pending[:n]
+		ls.head = 0
+	}
+	ls.pending = append(ls.pending, t)
+	return evicted
+}
+
+func (ls *linkState) pop() (float64, bool) {
+	if ls.head >= len(ls.pending) {
+		return 0, false
+	}
+	t := ls.pending[ls.head]
+	ls.head++
+	if ls.head == len(ls.pending) {
+		ls.pending = ls.pending[:0]
+		ls.head = 0
+	}
+	return t, true
 }
 
 // NewMetricsSink creates the bridge and registers its metrics in reg.
@@ -298,7 +359,10 @@ func NewMetricsSink(reg *Registry) *MetricsSink {
 		bytesRecv:   reg.Counter(MetricBytesRecv),
 		staleness:   reg.Histogram(MetricStaleness, StalenessBuckets),
 		syncDur:     reg.Histogram(MetricSyncDuration, DefBuckets),
+		unmatched:   reg.Counter(MetricLinkUnmatched),
+		reg:         reg,
 		syncStart:   make(map[int]float64),
+		links:       make(map[linkKey]*linkState),
 	}
 }
 
@@ -331,10 +395,46 @@ func (m *MetricsSink) Emit(e Event) {
 	case KindMsgSend:
 		m.msgsSent.Inc()
 		m.bytesSent.Add(int64(e.Bytes))
+		m.mu.Lock()
+		ls := m.link(e.Node, e.Peer)
+		evicted := ls.push(e.Time)
+		m.mu.Unlock()
+		if evicted {
+			m.unmatched.Inc()
+		}
 	case KindMsgRecv:
 		m.msgsRecv.Inc()
 		m.bytesRecv.Add(int64(e.Bytes))
+		// Match against the oldest pending send on the (sender ->
+		// receiver) link: links are FIFO in both runtimes, so the pair is
+		// exact under the simulator and wall-clock-skew-accurate in the
+		// live runtime (each server stamps with its own start-relative
+		// clock). The observed delay covers outbox queueing plus the wire.
+		m.mu.Lock()
+		ls := m.link(e.Peer, e.Node)
+		sent, ok := ls.pop()
+		hist := ls.hist
+		m.mu.Unlock()
+		if ok {
+			if d := e.Time - sent; d >= 0 {
+				hist.Observe(d)
+			}
+		} else {
+			m.unmatched.Inc()
+		}
 	case KindCheckpoint:
 		m.checkpoints.Inc()
 	}
+}
+
+// link returns the matcher state of the directed link src -> dst;
+// callers hold m.mu.
+func (m *MetricsSink) link(src, dst int) *linkState {
+	k := linkKey{src, dst}
+	ls, ok := m.links[k]
+	if !ok {
+		ls = &linkState{hist: m.reg.Histogram(LinkDelayMetric(src, dst), DefBuckets)}
+		m.links[k] = ls
+	}
+	return ls
 }

@@ -140,3 +140,93 @@ func TestMetricsSinkDerivesMetrics(t *testing.T) {
 		t.Fatal("unmatched sync-end must be ignored")
 	}
 }
+
+func TestMetricsSinkLinkDelay(t *testing.T) {
+	r := NewRegistry()
+	ms := NewMetricsSink(r)
+
+	// Two messages on the 0->1 link; FIFO delivery matches them in send
+	// order, so delays are 0.3s and 0.5s.
+	ms.Emit(Event{Time: 1.0, Kind: KindMsgSend, Node: 0, Peer: 1, Bytes: 10})
+	ms.Emit(Event{Time: 1.1, Kind: KindMsgSend, Node: 0, Peer: 1, Bytes: 10})
+	ms.Emit(Event{Time: 1.3, Kind: KindMsgRecv, Node: 1, Peer: 0, Bytes: 10})
+	ms.Emit(Event{Time: 1.6, Kind: KindMsgRecv, Node: 1, Peer: 0, Bytes: 10})
+	// A different directed link gets its own histogram.
+	ms.Emit(Event{Time: 2.0, Kind: KindMsgSend, Node: 1, Peer: 0, Bytes: 10})
+	ms.Emit(Event{Time: 2.2, Kind: KindMsgRecv, Node: 0, Peer: 1, Bytes: 10})
+
+	h01 := r.Histogram(LinkDelayMetric(0, 1), nil)
+	if h01.Count() != 2 {
+		t.Fatalf("0->1 delay count = %d, want 2", h01.Count())
+	}
+	if got := h01.Sum(); got < 0.79 || got > 0.81 {
+		t.Fatalf("0->1 delay sum = %v, want ~0.8", got)
+	}
+	h10 := r.Histogram(LinkDelayMetric(1, 0), nil)
+	if h10.Count() != 1 {
+		t.Fatalf("1->0 delay count = %d, want 1", h10.Count())
+	}
+	if got := r.Counter(MetricLinkUnmatched).Value(); got != 0 {
+		t.Fatalf("unmatched = %d, want 0", got)
+	}
+
+	// A recv with no pending send on that link counts as unmatched.
+	ms.Emit(Event{Time: 3, Kind: KindMsgRecv, Node: 5, Peer: 9, Bytes: 1})
+	if got := r.Counter(MetricLinkUnmatched).Value(); got != 1 {
+		t.Fatalf("unmatched = %d, want 1", got)
+	}
+}
+
+func TestMetricsSinkLinkDelayEvictsOnOverflow(t *testing.T) {
+	r := NewRegistry()
+	ms := NewMetricsSink(r)
+	// One-sided instrumentation (sends observed, receives never): the
+	// pending queue must cap and count evictions instead of growing
+	// without bound.
+	for i := 0; i < maxPendingSends+10; i++ {
+		ms.Emit(Event{Time: float64(i), Kind: KindMsgSend, Node: 0, Peer: 1, Bytes: 1})
+	}
+	if got := r.Counter(MetricLinkUnmatched).Value(); got != 10 {
+		t.Fatalf("evictions = %d, want 10", got)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("net.msgs_sent").Add(7)
+	r.Gauge("queue.depth").Set(3.5)
+	h := r.Histogram("lat", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE net_msgs_sent counter\nnet_msgs_sent 7\n",
+		"# TYPE queue_depth gauge\nqueue_depth 3.5\n",
+		"# TYPE lat histogram",
+		`lat_bucket{le="0.1"} 1`,
+		`lat_bucket{le="1"} 2`,
+		`lat_bucket{le="+Inf"} 3`,
+		"lat_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Names with characters outside the metric alphabet must be sanitized
+	// (the link-delay metrics contain '>' and '-').
+	r2 := NewRegistry()
+	r2.Histogram(LinkDelayMetric(ServerNode+1, 4), nil).Observe(0.2)
+	var b2 strings.Builder
+	if err := r2.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b2.String(), "net_link_delay_s_s1__c4_count 1") {
+		t.Fatalf("sanitized link metric missing:\n%s", b2.String())
+	}
+}

@@ -120,7 +120,11 @@ func WriteJSONL(w io.Writer, events []Event) error {
 }
 
 // ReadJSONL parses a JSONL trace back into events. Blank lines are
-// skipped; any malformed line is an error.
+// skipped; any malformed line is an error naming the line — including
+// valid JSON that is not an event (a missing or unknown kind), so a
+// corrupted or truncated trace can never be silently summarized as if it
+// were complete. Traces written before the provenance extension (no
+// uid/front fields) load fine: absent fields stay zero.
 func ReadJSONL(r io.Reader) ([]Event, error) {
 	var out []Event
 	sc := bufio.NewScanner(r)
@@ -134,12 +138,26 @@ func ReadJSONL(r io.Reader) ([]Event, error) {
 		}
 		var e Event
 		if err := json.Unmarshal(b, &e); err != nil {
-			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+			return nil, fmt.Errorf("obs: trace line %d (%s): %w", line, truncateLine(b), err)
+		}
+		if e.Kind == 0 {
+			return nil, fmt.Errorf("obs: trace line %d (%s): not a protocol event (no kind)",
+				line, truncateLine(b))
 		}
 		out = append(out, e)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("obs: read trace: %w", err)
+		return nil, fmt.Errorf("obs: read trace after line %d: %w", line, err)
 	}
 	return out, nil
+}
+
+// truncateLine renders a malformed line for error messages without
+// flooding the terminal.
+func truncateLine(b []byte) string {
+	const max = 60
+	if len(b) > max {
+		return string(b[:max]) + "..."
+	}
+	return string(b)
 }

@@ -37,8 +37,12 @@ type Outbound interface {
 	// model age and the client's next learning rate (Alg. 1 l. 19).
 	ReplyClient(k int, params []float64, age, lr float64)
 	// BroadcastModel sends this server's model, age and the current
-	// synchronization ID to every other server (Alg. 2 l. 25/35).
-	BroadcastModel(params []float64, age float64, bid int)
+	// synchronization ID to every other server (Alg. 2 l. 25/35). front is
+	// the sender's merged-updates frontier at broadcast time — the causal
+	// provenance the receiver max-merges so update lineage is traceable
+	// end to end; like params it is a borrow valid only for the duration
+	// of the call.
+	BroadcastModel(params []float64, age float64, bid int, front []int64)
 	// BroadcastAge announces this server's model age to every other
 	// server so the token holder can trigger a synchronization
 	// (Alg. 2 l. 29).
@@ -104,6 +108,17 @@ type ServerCore struct {
 	rates   map[int]float64 // current learning rate per client
 	total   int             // total updates received (for the average)
 
+	// frontier is the merged-updates vector clock: frontier[i] counts how
+	// many client updates first merged at server i are incorporated into
+	// this model, directly (i == cfg.ID, advanced per HandleClientUpdate)
+	// or transitively (max-merged from the frontier riding on every model
+	// broadcast). It is plain protocol state, maintained whether or not a
+	// sink is attached, so enabling provenance tracing can never change
+	// the schedule; the lineage analyzer (obs.BuildLineage) reconstructs
+	// every update's server-reach set and hop path from the frontiers
+	// stamped on client-update and server-agg events.
+	frontier []int64
+
 	// Byzantine-robust clipping state: exponential moving average of the
 	// (post-clip) client delta norms. deltaScratch is the persistent
 	// model-sized buffer the clip path computes deltas into, so clipping
@@ -138,6 +153,7 @@ func NewServerCore(cfg Config, initial []float64, holdsToken bool, out Outbound)
 		out:          out,
 		w:            tensor.Clone(initial),
 		ages:         make([]float64, cfg.NumServers),
+		frontier:     make([]int64, cfg.NumServers),
 		didBroadcast: make(map[int]bool),
 		cnt:          make(map[int]int),
 		updates:      make(map[int]int),
@@ -190,6 +206,13 @@ func (s *ServerCore) SyncsJoined() int { return s.syncsJoined }
 
 // UpdatesFrom reports how many updates client k has contributed.
 func (s *ServerCore) UpdatesFrom(k int) int { return s.updates[k] }
+
+// Frontier returns a copy of the merged-updates vector clock: entry i is
+// the number of client updates first merged at server i whose influence
+// this model has incorporated.
+func (s *ServerCore) Frontier() []int64 {
+	return append([]int64(nil), s.frontier...)
+}
 
 // StalenessWeight implements the dampening weight w_k^t of Alg. 1 l. 14.
 // The pseudo-code writes w = A_i - A_k literally, but the text specifies
@@ -257,6 +280,16 @@ func ServerAggWeight(phi, localAge, remoteAge float64) float64 {
 // returns an (almost) unchanged copy of an old server model, and merging
 // that echo at full weight drags the server back toward its own past.
 func (s *ServerCore) HandleClientUpdate(k int, params []float64, clientAge float64) {
+	s.HandleClientUpdateTraced(k, params, clientAge, 0)
+}
+
+// HandleClientUpdateTraced is HandleClientUpdate carrying the update's
+// trace context: uid is the causal ID the client minted when the trained
+// update left it (obs.UpdateUID), zero for untraced callers. The merge
+// advances this server's own frontier coordinate either way, so lineage
+// stays reconstructable from the server-side (origin, seq) identity even
+// when clients do not mint IDs.
+func (s *ServerCore) HandleClientUpdateTraced(k int, params []float64, clientAge float64, uid obs.UID) {
 	s.updates[k]++
 	s.total++
 	lr := s.decayedRate(k)
@@ -271,11 +304,13 @@ func (s *ServerCore) HandleClientUpdate(k int, params []float64, clientAge float
 	s.applyClientDelta(params, s.cfg.EtaServer*wk*damp)
 	s.age++
 	s.ages[s.cfg.ID] = s.age
+	s.frontier[s.cfg.ID]++
 
 	if s.sink.Enabled() {
 		s.sink.Emit(obs.Event{
 			Time: s.clock(), Kind: obs.KindClientUpdate,
 			Node: s.cfg.ID, Peer: k, Age: s.age, Stale: staleness,
+			UID: uid, Front: s.Frontier(),
 		})
 	}
 	// Borrow: the Outbound implementation copies if it retains (see the
@@ -379,6 +414,15 @@ func (s *ServerCore) HandleToken(t Token) {
 // HandleServerModel processes another server's model broadcast
 // (Alg. 2 RcvModel).
 func (s *ServerCore) HandleServerModel(j int, params []float64, age float64, bid int) {
+	s.HandleServerModelTraced(j, params, age, bid, nil)
+}
+
+// HandleServerModelTraced is HandleServerModel carrying the broadcast's
+// provenance: front is the sender's merged-updates frontier at broadcast
+// time (nil from untraced peers or pre-extension checkpoints). The local
+// frontier max-merges it, because the weighted model merge incorporates
+// the causal influence of every update the remote model had seen.
+func (s *ServerCore) HandleServerModelTraced(j int, params []float64, age float64, bid int, front []int64) {
 	s.ages[j] = age
 	if !s.didBroadcast[bid] {
 		s.didBroadcast[bid] = true
@@ -390,9 +434,9 @@ func (s *ServerCore) HandleServerModel(j int, params []float64, age float64, bid
 				Node: s.cfg.ID, Peer: obs.NoPeer, Bid: bid, Note: "join",
 			})
 		}
-		s.out.BroadcastModel(s.w, s.age, bid)
+		s.out.BroadcastModel(s.w, s.age, bid, s.frontier)
 	}
-	s.serverAgg(j, params, age)
+	s.serverAgg(j, params, age, bid, front)
 	if s.hasToken && s.token.Bid == bid {
 		s.cnt[bid]++
 		if s.cnt[bid] == s.cfg.NumServers {
@@ -427,18 +471,28 @@ func (s *ServerCore) forwardToken() {
 // serverAgg merges server from's model into the local one
 // (Alg. 2 ServerAgg): the sigmoid of the relative age difference decides
 // how much the remote model counts, and the local age moves toward the
-// remote age by the same effective weight.
-func (s *ServerCore) serverAgg(from int, params []float64, remoteAge float64) {
+// remote age by the same effective weight. The remote frontier (when the
+// broadcast carried one) max-merges into the local frontier, and the
+// emitted event carries the post-merge frontier plus the round's UID so
+// the lineage analyzer can attribute every newly covered update to this
+// hop.
+func (s *ServerCore) serverAgg(from int, params []float64, remoteAge float64, bid int, front []int64) {
 	ageDrift := remoteAge - s.age
 	w := ServerAggWeight(s.cfg.Phi, s.age, remoteAge)
 	ew := s.cfg.EtaA * w
 	paramvec.Vec(s.w).WeightedMergeInto(ew, params)
 	s.age = (1-ew)*s.age + ew*remoteAge
 	s.ages[s.cfg.ID] = s.age
+	for o, v := range front {
+		if o < len(s.frontier) && v > s.frontier[o] {
+			s.frontier[o] = v
+		}
+	}
 	if s.sink.Enabled() {
 		s.sink.Emit(obs.Event{
 			Time: s.clock(), Kind: obs.KindServerAgg,
 			Node: s.cfg.ID, Peer: from, Age: s.age, Stale: ageDrift,
+			Bid: bid, UID: obs.RoundUID(from, bid), Front: s.Frontier(),
 		})
 	}
 }
@@ -479,7 +533,7 @@ func (s *ServerCore) checkSynchronization() {
 				Node: s.cfg.ID, Peer: obs.NoPeer, Bid: bid, Note: "trigger",
 			})
 		}
-		s.out.BroadcastModel(s.w, s.age, bid)
+		s.out.BroadcastModel(s.w, s.age, bid, s.frontier)
 	} else if !s.hasToken {
 		if s.age-s.lastAgeBroadcast >= s.cfg.MinAgeGapForAgeBroadcast {
 			s.lastAgeBroadcast = s.age

@@ -111,7 +111,7 @@ type tokenRec struct {
 func (f *fakeOut) ReplyClient(k int, p []float64, age, lr float64) {
 	f.replies = append(f.replies, replyRec{k, tensor.Clone(p), age, lr})
 }
-func (f *fakeOut) BroadcastModel(p []float64, age float64, bid int) {
+func (f *fakeOut) BroadcastModel(p []float64, age float64, bid int, _ []int64) {
 	f.models = append(f.models, modelRec{tensor.Clone(p), age, bid})
 }
 func (f *fakeOut) BroadcastAge(age float64) { f.ages = append(f.ages, age) }
@@ -430,7 +430,7 @@ type loopbackOut struct {
 }
 
 func (l *loopbackOut) ReplyClient(int, []float64, float64, float64) {}
-func (l *loopbackOut) BroadcastModel(p []float64, age float64, bid int) {
+func (l *loopbackOut) BroadcastModel(p []float64, age float64, bid int, _ []int64) {
 	for i, c := range *l.cores {
 		if i != l.id && c != nil {
 			c.HandleServerModel(l.id, tensor.Clone(p), age, bid)

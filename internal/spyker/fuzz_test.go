@@ -73,7 +73,7 @@ type fuzzOut struct {
 
 func (o *fuzzOut) ReplyClient(int, []float64, float64, float64) {}
 
-func (o *fuzzOut) BroadcastModel(p []float64, age float64, bid int) {
+func (o *fuzzOut) BroadcastModel(p []float64, age float64, bid int, _ []int64) {
 	snapshot := tensor.Clone(p)
 	for i := range o.net.cores {
 		if i == o.id {

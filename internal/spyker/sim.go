@@ -5,6 +5,7 @@ import (
 
 	"github.com/spyker-fl/spyker/internal/fl"
 	"github.com/spyker-fl/spyker/internal/geo"
+	"github.com/spyker-fl/spyker/internal/obs"
 )
 
 // Algorithm runs Spyker under the discrete-event simulator. It implements
@@ -92,13 +93,13 @@ func (a *Algorithm) Build(env *fl.Env) error {
 			Env:   env,
 			Spec:  spec,
 			Model: env.NewModel(env.Seed + int64(1000+ci)),
-			Deliver: func(clientID int, update []float64, meta any) {
+			Deliver: func(clientID int, update []float64, meta any, uid obs.UID) {
 				age, ok := meta.(float64)
 				if !ok {
 					panic(fmt.Sprintf("spyker: client meta %T is not an age", meta))
 				}
 				srv.queue.Submit(env.ProcFor(srv.id, env.Hyper.ProcSpyker), func() {
-					srv.core.HandleClientUpdate(clientID, update, age)
+					srv.core.HandleClientUpdateTraced(clientID, update, age, uid)
 					env.Observer.ClientUpdateProcessed(
 						env.Sim.Now(), srv.id, clientID, a.ServerParams)
 				})
@@ -150,11 +151,16 @@ func (s *simServer) ReplyClient(k int, params []float64, age, lr float64) {
 // BroadcastModel implements Outbound. One pooled copy of the borrowed
 // params is shared by every peer delivery; a countdown (safe because the
 // simulator is single-threaded) returns it after the last peer consumed
-// the model.
-func (s *simServer) BroadcastModel(params []float64, age float64, bid int) {
+// the model. The frontier is also copied once at broadcast time: delivery
+// happens later in virtual time, while the origin's live frontier keeps
+// advancing, so aliasing it would corrupt the causal snapshot the
+// broadcast carries.
+func (s *simServer) BroadcastModel(params []float64, age float64, bid int, front []int64) {
 	src := s.env.ServerEndpoint(s.id)
 	buf := s.env.Pool.Get(len(params))
 	buf.CopyFrom(params)
+	frontCopy := append([]int64(nil), front...)
+	uid := obs.RoundUID(s.id, bid)
 	remaining := len(s.alg.servers) - 1
 	if remaining <= 0 {
 		s.env.Pool.Put(buf)
@@ -166,9 +172,9 @@ func (s *simServer) BroadcastModel(params []float64, age float64, bid int) {
 		}
 		p := peer
 		dst := s.env.ServerEndpoint(p.id)
-		s.env.Net.Send(src, dst, s.env.ModelBytes, geo.ServerServer, func() {
+		s.env.Net.SendTraced(src, dst, s.env.ModelBytes, geo.ServerServer, uid, func() {
 			p.queue.Submit(s.env.ProcFor(p.id, s.env.Hyper.ProcSpyker), func() {
-				p.core.HandleServerModel(s.id, buf, age, bid)
+				p.core.HandleServerModelTraced(s.id, buf, age, bid, frontCopy)
 				if remaining--; remaining == 0 {
 					s.env.Pool.Put(buf)
 				}
@@ -194,12 +200,14 @@ func (s *simServer) BroadcastAge(age float64) {
 	}
 }
 
-// SendToken implements Outbound.
+// SendToken implements Outbound. The token carries the bid of the sync
+// round it is brokering, so the hop is traced under that round's UID.
 func (s *simServer) SendToken(t Token, next int) {
 	src := s.env.ServerEndpoint(s.id)
 	dst := s.env.ServerEndpoint(next)
 	peer := s.alg.servers[next]
-	s.env.Net.Send(src, dst, fl.TokenWireBytes(len(t.Ages)), geo.ServerServer, func() {
+	uid := obs.RoundUID(s.id, t.Bid)
+	s.env.Net.SendTraced(src, dst, fl.TokenWireBytes(len(t.Ages)), geo.ServerServer, uid, func() {
 		peer.queue.Submit(0, func() {
 			peer.core.HandleToken(t)
 		})

@@ -31,6 +31,12 @@ type State struct {
 
 	SyncsTriggered int
 	SyncsJoined    int
+
+	// Frontier is the merged-updates vector clock (causal provenance; see
+	// ServerCore.Frontier). Nil in checkpoints written before the
+	// provenance extension — restore then starts it at zero, which only
+	// resets lineage counting, never protocol behaviour.
+	Frontier []int64
 }
 
 // Snapshot captures the core's full protocol state. The returned State
@@ -55,6 +61,7 @@ func (s *ServerCore) SnapshotInto(st *State) {
 	st.Total = s.total
 	st.SyncsTriggered = s.syncsTriggered
 	st.SyncsJoined = s.syncsJoined
+	st.Frontier = append(st.Frontier[:0], s.frontier...)
 	if s.token != nil {
 		if st.Token == nil {
 			st.Token = &Token{}
@@ -122,5 +129,12 @@ func RestoreServerCore(st State, out Outbound) (*ServerCore, error) {
 	s.total = st.Total
 	s.syncsTriggered = st.SyncsTriggered
 	s.syncsJoined = st.SyncsJoined
+	if st.Frontier != nil {
+		if len(st.Frontier) != st.Config.NumServers {
+			return nil, fmt.Errorf("spyker: snapshot frontier length %d != %d servers",
+				len(st.Frontier), st.Config.NumServers)
+		}
+		copy(s.frontier, st.Frontier)
+	}
 	return s, nil
 }

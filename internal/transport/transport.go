@@ -11,6 +11,8 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+
+	"github.com/spyker-fl/spyker/internal/obs"
 )
 
 // Kind discriminates protocol messages.
@@ -56,6 +58,18 @@ func (k Kind) String() string {
 	}
 }
 
+// Trace is the causal provenance context riding on a frame. UID identifies
+// the client update (KindClientUpdate) or sync-round broadcast
+// (KindServerModel, KindToken) the frame carries; Front is the sender's
+// merged-updates frontier snapshot (KindServerModel only). A zero Trace is
+// "untraced" and — because gob omits zero-valued fields — costs nothing on
+// the wire, so peers predating the provenance extension interoperate
+// unchanged.
+type Trace struct {
+	UID   obs.UID
+	Front []int64
+}
+
 // Msg is one protocol frame. Which fields are meaningful depends on Kind.
 type Msg struct {
 	Kind   Kind
@@ -65,6 +79,7 @@ type Msg struct {
 	LR     float64   // next client learning rate (KindModelReply)
 	Bid    int       // synchronization ID (KindServerModel, KindToken)
 	Ages   []float64 // token age vector (KindToken)
+	Trace  Trace     // causal provenance context (optional)
 }
 
 // Reset clears the message for reuse as a gob decode target. Gob leaves
@@ -74,6 +89,8 @@ type Msg struct {
 // connection reuse one buffer; Ages is dropped entirely because token
 // receivers retain the decoded slice (spyker.ServerCore.HandleToken
 // stores it), so it must never be overwritten by a later decode.
+// Trace.Front keeps its backing array like Params: the frontier is merged
+// into the receiving core before the next decode, never retained.
 func (m *Msg) Reset() {
 	m.Kind = 0
 	m.From = 0
@@ -82,6 +99,8 @@ func (m *Msg) Reset() {
 	m.LR = 0
 	m.Bid = 0
 	m.Ages = nil
+	m.Trace.UID = 0
+	m.Trace.Front = m.Trace.Front[:0]
 }
 
 // MsgWireBytes estimates the payload size of a message in bytes: the
@@ -90,7 +109,7 @@ func (m *Msg) Reset() {
 // preamble (sent once per connection), so the estimate is stable per
 // frame — what byte accounting wants.
 func MsgWireBytes(m *Msg) int {
-	return 40 + 8*(len(m.Params)+len(m.Ages))
+	return 40 + 8*(len(m.Params)+len(m.Ages)+len(m.Trace.Front))
 }
 
 // ConnStats is a snapshot of a connection's frame and byte accounting.

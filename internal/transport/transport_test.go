@@ -3,6 +3,8 @@ package transport
 import (
 	"sync"
 	"testing"
+
+	"github.com/spyker-fl/spyker/internal/obs"
 )
 
 func pipePair(t *testing.T) (*Conn, *Conn) {
@@ -174,11 +176,68 @@ func TestMsgWireBytes(t *testing.T) {
 		{Msg{Kind: KindClientUpdate, Params: make([]float64, 10)}, 40 + 80},
 		{Msg{Kind: KindToken, Ages: make([]float64, 4)}, 40 + 32},
 		{Msg{Kind: KindServerModel, Params: make([]float64, 5), Ages: make([]float64, 2)}, 40 + 56},
+		{Msg{Kind: KindServerModel, Params: make([]float64, 5),
+			Trace: Trace{Front: make([]int64, 4)}}, 40 + 40 + 32},
 	}
 	for _, c := range cases {
 		if got := MsgWireBytes(&c.m); got != c.want {
 			t.Errorf("MsgWireBytes(%v) = %d, want %d", c.m.Kind, got, c.want)
 		}
+	}
+}
+
+// TestTraceRoundTrip checks that the causal trace context survives the
+// gob framing, that Reset clears it between decodes (no leakage from a
+// traced frame into an untraced one), and that untraced frames decode
+// with a zero Trace.
+func TestTraceRoundTrip(t *testing.T) {
+	client, server := pipePair(t)
+	msgs := []*Msg{
+		{Kind: KindClientUpdate, From: 3, Params: []float64{1, 2}, Age: 7,
+			Trace: Trace{UID: obs.UpdateUID(3, 9)}},
+		{Kind: KindServerModel, From: 1, Params: []float64{9}, Age: 5, Bid: 4,
+			Trace: Trace{UID: obs.RoundUID(1, 4), Front: []int64{12, 7, 0}}},
+		{Kind: KindAge, From: 2, Age: 55}, // untraced
+	}
+	go func() {
+		for _, m := range msgs {
+			if err := client.Send(m); err != nil {
+				return
+			}
+		}
+	}()
+	var m Msg
+	for _, want := range msgs {
+		if err := server.RecvInto(&m); err != nil {
+			t.Fatal(err)
+		}
+		if m.Trace.UID != want.Trace.UID {
+			t.Fatalf("%v: trace uid = %v, want %v", want.Kind, m.Trace.UID, want.Trace.UID)
+		}
+		if len(m.Trace.Front) != len(want.Trace.Front) {
+			t.Fatalf("%v: trace front = %v, want %v (Reset must clear it between frames)",
+				want.Kind, m.Trace.Front, want.Trace.Front)
+		}
+		for i := range want.Trace.Front {
+			if m.Trace.Front[i] != want.Trace.Front[i] {
+				t.Fatalf("%v: trace front corrupted: %v", want.Kind, m.Trace.Front)
+			}
+		}
+	}
+}
+
+func TestResetClearsTrace(t *testing.T) {
+	m := Msg{
+		Kind: KindServerModel, From: 1, Params: []float64{1}, Bid: 2,
+		Trace: Trace{UID: obs.RoundUID(1, 2), Front: []int64{5, 5}},
+	}
+	m.Reset()
+	if m.Trace.UID != 0 || len(m.Trace.Front) != 0 {
+		t.Fatalf("Reset left trace context: %+v", m.Trace)
+	}
+	// The Front backing array must be retained for reuse (like Params).
+	if cap(m.Trace.Front) == 0 {
+		t.Fatal("Reset dropped the Front backing array")
 	}
 }
 
