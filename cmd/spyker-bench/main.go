@@ -4,6 +4,7 @@
 //
 // Usage:
 //
+//	spyker-bench -list               # enumerate experiments
 //	spyker-bench -exp all            # run the whole evaluation
 //	spyker-bench -exp fig5 -scale 1  # one experiment at full scale
 //
@@ -17,6 +18,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 	"time"
 
@@ -25,15 +27,113 @@ import (
 
 type renderer interface{ Render() string }
 
+// params carries the shared experiment knobs into each job.
+type params struct {
+	scale    float64
+	seed     int64
+	t90, t95 float64
+}
+
+// job is one runnable experiment. The jobs table is the single source of
+// truth for -exp: the usage string and -list are derived from it.
+type job struct {
+	name string
+	desc string
+	fn   func(p params) (renderer, error)
+}
+
+var jobs = []job{
+	{"fig3", "Wiki char-LM: Spyker vs baselines, accuracy over time", func(p params) (renderer, error) {
+		return experiments.RunComparison(experiments.TaskWiki, p.scale, p.seed)
+	}},
+	{"fig5", "MNIST CNN: Spyker vs baselines, accuracy over time", func(p params) (renderer, error) {
+		return experiments.RunComparison(experiments.TaskMNIST, p.scale, p.seed)
+	}},
+	{"fig7", "CIFAR CNN: Spyker vs baselines, accuracy over time", func(p params) (renderer, error) {
+		return experiments.RunComparison(experiments.TaskCIFAR, p.scale, p.seed)
+	}},
+	{"table5", "time-to-target-accuracy across deployment scales", func(p params) (renderer, error) {
+		return experiments.RunScalabilityStudy(p.scale, 0.88, p.seed)
+	}},
+	{"table6", "time to 90%/95% targets under geo latency", func(p params) (renderer, error) {
+		return experiments.RunLatencyStudy(p.scale, p.t90, p.t95, p.seed)
+	}},
+	{"fig9", "server queue depth over time", func(p params) (renderer, error) {
+		return experiments.RunQueueStudy(p.scale, p.seed)
+	}},
+	{"fig10", "update-staleness KDE", func(p params) (renderer, error) {
+		return experiments.RunKDEStudy(p.scale, p.seed)
+	}},
+	{"table7", "client-imbalance sensitivity", func(p params) (renderer, error) {
+		return experiments.RunImbalanceStudy(p.scale, p.seed)
+	}},
+	{"fig11", "staleness-decay (phi) sweep", func(p params) (renderer, error) {
+		return experiments.RunDecayStudy(p.scale, p.seed)
+	}},
+	{"fig12", "bandwidth usage accounting", func(p params) (renderer, error) {
+		return experiments.RunBandwidthStudy(p.scale, p.seed)
+	}},
+	{"churn", "client churn robustness", func(p params) (renderer, error) {
+		return experiments.RunChurnStudy(p.scale, p.seed)
+	}},
+	{"ablations", "component ablations", func(p params) (renderer, error) {
+		return experiments.RunAblations(p.scale, p.seed)
+	}},
+	{"clustering", "client-to-server assignment strategies", func(p params) (renderer, error) {
+		return experiments.RunClusteringStudy(p.scale, p.seed)
+	}},
+	{"compression", "update-compression operating points", func(p params) (renderer, error) {
+		return experiments.RunCompressionStudy(p.scale, p.seed)
+	}},
+	{"servers", "server-count scaling", func(p params) (renderer, error) {
+		return experiments.RunServerScalingStudy(p.scale, p.seed)
+	}},
+	{"byzantine", "byzantine-client resilience", func(p params) (renderer, error) {
+		return experiments.RunByzantineStudy(p.scale, p.seed)
+	}},
+	{"straggler", "straggler-client sensitivity", func(p params) (renderer, error) {
+		return experiments.RunStragglerStudy(p.scale, p.seed)
+	}},
+}
+
+// aliases map the paper's sibling figure numbers (loss panels) onto the
+// experiment that renders both panels.
+var aliases = map[string]string{"fig4": "fig3", "fig6": "fig5", "fig8": "fig7"}
+
+// expNames derives the -exp usage string from the jobs table.
+func expNames() string {
+	names := make([]string, 0, len(jobs)+1)
+	for _, j := range jobs {
+		names = append(names, j.name)
+	}
+	return strings.Join(append(names, "all"), "|")
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3|fig5|fig7|fig9|fig10|fig11|fig12|table5|table6|table7|churn|ablations|clustering|compression|servers|byzantine|straggler|all")
+	exp := flag.String("exp", "all", "experiment: "+expNames())
 	scale := flag.Float64("scale", 0.5, "deployment scale in (0,1]; 1 = paper-size populations")
 	seed := flag.Int64("seed", 1, "experiment seed")
 	t90 := flag.Float64("target90", 0.90, "lower accuracy target for table6")
 	t95 := flag.Float64("target95", 0.93, "upper accuracy target for table6")
+	list := flag.Bool("list", false, "list registered experiments and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
+
+	if *list {
+		for _, j := range jobs {
+			fmt.Printf("%-12s %s\n", j.name, j.desc)
+		}
+		names := make([]string, 0, len(aliases))
+		for alias := range aliases {
+			names = append(names, alias)
+		}
+		sort.Strings(names)
+		for _, alias := range names {
+			fmt.Printf("%-12s alias for %s\n", alias, aliases[alias])
+		}
+		return
+	}
 
 	var cpuFile *os.File
 	if *cpuprofile != "" {
@@ -49,7 +149,7 @@ func main() {
 		cpuFile = f
 	}
 
-	err := run(*exp, *scale, *seed, *t90, *t95)
+	err := run(*exp, params{scale: *scale, seed: *seed, t90: *t90, t95: *t95})
 
 	// Profiles are flushed before exiting on any path (os.Exit skips
 	// deferred calls, so this is explicit).
@@ -77,31 +177,7 @@ func main() {
 	}
 }
 
-func run(exp string, scale float64, seed int64, t90, t95 float64) error {
-	type job struct {
-		name string
-		fn   func() (renderer, error)
-	}
-	jobs := []job{
-		{"fig3", func() (renderer, error) { return experiments.RunComparison(experiments.TaskWiki, scale, seed) }},
-		{"fig5", func() (renderer, error) { return experiments.RunComparison(experiments.TaskMNIST, scale, seed) }},
-		{"fig7", func() (renderer, error) { return experiments.RunComparison(experiments.TaskCIFAR, scale, seed) }},
-		{"table5", func() (renderer, error) { return experiments.RunScalabilityStudy(scale, 0.88, seed) }},
-		{"table6", func() (renderer, error) { return experiments.RunLatencyStudy(scale, t90, t95, seed) }},
-		{"fig9", func() (renderer, error) { return experiments.RunQueueStudy(scale, seed) }},
-		{"fig10", func() (renderer, error) { return experiments.RunKDEStudy(scale, seed) }},
-		{"table7", func() (renderer, error) { return experiments.RunImbalanceStudy(scale, seed) }},
-		{"fig11", func() (renderer, error) { return experiments.RunDecayStudy(scale, seed) }},
-		{"fig12", func() (renderer, error) { return experiments.RunBandwidthStudy(scale, seed) }},
-		{"churn", func() (renderer, error) { return experiments.RunChurnStudy(scale, seed) }},
-		{"ablations", func() (renderer, error) { return experiments.RunAblations(scale, seed) }},
-		{"clustering", func() (renderer, error) { return experiments.RunClusteringStudy(scale, seed) }},
-		{"compression", func() (renderer, error) { return experiments.RunCompressionStudy(scale, seed) }},
-		{"servers", func() (renderer, error) { return experiments.RunServerScalingStudy(scale, seed) }},
-		{"byzantine", func() (renderer, error) { return experiments.RunByzantineStudy(scale, seed) }},
-		{"straggler", func() (renderer, error) { return experiments.RunStragglerStudy(scale, seed) }},
-	}
-	aliases := map[string]string{"fig4": "fig3", "fig6": "fig5", "fig8": "fig7"}
+func run(exp string, p params) error {
 	if a, ok := aliases[exp]; ok {
 		exp = a
 	}
@@ -113,15 +189,15 @@ func run(exp string, scale float64, seed int64, t90, t95 float64) error {
 		}
 		ran = true
 		start := time.Now()
-		r, err := j.fn()
+		r, err := j.fn(p)
 		if err != nil {
 			return fmt.Errorf("%s: %w", j.name, err)
 		}
 		fmt.Printf("\n################ %s (scale %.2f, %s wall) ################\n%s\n",
-			strings.ToUpper(j.name), scale, time.Since(start).Round(time.Millisecond), r.Render())
+			strings.ToUpper(j.name), p.scale, time.Since(start).Round(time.Millisecond), r.Render())
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q", exp)
+		return fmt.Errorf("unknown experiment %q (see -list)", exp)
 	}
 	return nil
 }

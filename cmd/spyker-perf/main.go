@@ -1,0 +1,141 @@
+// Command spyker-perf runs the cross-layer performance suite
+// (internal/perf) and manages its BENCH manifests: it times every
+// registered scenario, emits a machine-readable manifest plus a markdown
+// table, and diffs manifests against a baseline, exiting non-zero when
+// any scenario regressed beyond the threshold.
+//
+// Usage:
+//
+//	spyker-perf                               # run everything, print table
+//	spyker-perf -list                         # enumerate scenarios
+//	spyker-perf -run smoke -json out.json     # quick subset, write manifest
+//	spyker-perf -run 'paramvec|spyker' -pprof-dir prof
+//	spyker-perf -compare BENCH_4.json         # fresh run vs baseline
+//	spyker-perf -compare BENCH_4.json -compare-to out.json -threshold 0.5
+//
+// -run matches scenario names, layers, or the literal tag "smoke" (the
+// fast low-variance subset CI gates on). -compare alone re-runs the
+// matching scenarios and diffs them against the baseline; with
+// -compare-to it diffs two existing manifests without running anything.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"regexp"
+	"strings"
+
+	"github.com/spyker-fl/spyker/internal/perf"
+)
+
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("spyker-perf", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		runPat    = fs.String("run", "", "regexp selecting scenarios by name, layer, or the \"smoke\" tag (empty = all)")
+		jsonOut   = fs.String("json", "", "write the run's manifest to this file")
+		pprofDir  = fs.String("pprof-dir", "", "write per-scenario CPU and heap profiles into this directory")
+		reps      = fs.Int("reps", 0, "timed repetitions per scenario (0 = default 20)")
+		warmup    = fs.Int("warmup", 0, "untimed warmup repetitions per scenario (0 = default 2)")
+		list      = fs.Bool("list", false, "list registered scenarios and exit")
+		compare   = fs.String("compare", "", "baseline manifest to diff against; exits 1 on regression")
+		compareTo = fs.String("compare-to", "", "with -compare: diff this manifest instead of running the suite")
+		threshold = fs.Float64("threshold", perf.DefaultThreshold, "relative ns/op slowdown counted as a regression")
+		markdown  = fs.Bool("md", false, "print the manifest as a markdown table instead of the plain log")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, s := range perf.Scenarios() {
+			tag := ""
+			if s.Smoke {
+				tag = "  [smoke]"
+			}
+			fmt.Fprintf(stdout, "%-28s %s%s\n", s.Name, s.Layer, tag)
+		}
+		fmt.Fprintf(stdout, "%d scenarios over layers: %s\n",
+			len(perf.Scenarios()), strings.Join(perf.Layers(), ", "))
+		return 0
+	}
+	if *compareTo != "" && *compare == "" {
+		fmt.Fprintln(stderr, "spyker-perf: -compare-to requires -compare <baseline>")
+		return 2
+	}
+
+	var filter *regexp.Regexp
+	if *runPat != "" {
+		re, err := regexp.Compile(*runPat)
+		if err != nil {
+			fmt.Fprintf(stderr, "spyker-perf: bad -run pattern: %v\n", err)
+			return 2
+		}
+		filter = re
+	}
+
+	var fresh *perf.Manifest
+	if *compare != "" && *compareTo != "" {
+		m, err := perf.ReadManifest(*compareTo)
+		if err != nil {
+			fmt.Fprintln(stderr, "spyker-perf:", err)
+			return 2
+		}
+		fresh = m
+	} else {
+		m, err := perf.Run(perf.Options{
+			Filter:   filter,
+			Reps:     *reps,
+			Warmup:   *warmup,
+			PprofDir: *pprofDir,
+			Log:      stderr,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "spyker-perf:", err)
+			return 2
+		}
+		m.GitRev = gitRev()
+		fresh = m
+		if *markdown {
+			fmt.Fprint(stdout, m.MarkdownTable())
+		}
+		if *jsonOut != "" {
+			if err := m.WriteFile(*jsonOut); err != nil {
+				fmt.Fprintln(stderr, "spyker-perf:", err)
+				return 2
+			}
+			fmt.Fprintf(stderr, "wrote %d scenarios to %s\n", len(m.Scenarios), *jsonOut)
+		}
+	}
+
+	if *compare != "" {
+		baseline, err := perf.ReadManifest(*compare)
+		if err != nil {
+			fmt.Fprintln(stderr, "spyker-perf:", err)
+			return 2
+		}
+		report := perf.Compare(baseline, fresh, *threshold)
+		fmt.Fprint(stdout, report.Render())
+		if report.Regressed() {
+			return 1
+		}
+	}
+	return 0
+}
+
+// gitRev stamps manifests with the current commit (best effort: empty
+// outside a git checkout).
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/spyker-fl/spyker/internal/perf"
+)
+
+// testManifest builds a minimal valid manifest on disk.
+func testManifest(t *testing.T, name string, results []perf.Result) string {
+	t.Helper()
+	m := perf.NewManifest()
+	m.Scenarios = results
+	p := filepath.Join(t.TempDir(), name)
+	if err := m.WriteFile(p); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func baseResults() []perf.Result {
+	return []perf.Result{
+		{Name: "paramvec/axpy", Layer: "paramvec", Reps: 10, Ops: 1, NsPerOp: 10000, AllocsPerOp: 0},
+		{Name: "spyker/server-aggregate", Layer: "spyker", Reps: 10, Ops: 1, NsPerOp: 30000, AllocsPerOp: 0},
+	}
+}
+
+// TestCompareFailsOnInjectedRegression is the acceptance check: a
+// manifest with a 2x ns/op regression must make -compare exit non-zero
+// and name the offender.
+func TestCompareFailsOnInjectedRegression(t *testing.T) {
+	old := testManifest(t, "old.json", baseResults())
+	slow := baseResults()
+	slow[1].NsPerOp *= 2 // inject the regression
+	nu := testManifest(t, "new.json", slow)
+
+	var stdout, stderr bytes.Buffer
+	code := realMain([]string{"-compare", old, "-compare-to", nu}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "REGRESSED") ||
+		!strings.Contains(stdout.String(), "spyker/server-aggregate") {
+		t.Errorf("report does not name the regressed scenario:\n%s", stdout.String())
+	}
+}
+
+// TestCompareFailsOnAllocRegression: losing an allocation-free hot path
+// (0 -> 1 allocs/op) must gate even when timing is unchanged.
+func TestCompareFailsOnAllocRegression(t *testing.T) {
+	old := testManifest(t, "old.json", baseResults())
+	leaky := baseResults()
+	leaky[0].AllocsPerOp = 1
+	nu := testManifest(t, "new.json", leaky)
+
+	var stdout, stderr bytes.Buffer
+	if code := realMain([]string{"-compare", old, "-compare-to", nu}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code = %d, want 1\n%s", code, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "REGRESSED (allocs)") {
+		t.Errorf("report missing alloc verdict:\n%s", stdout.String())
+	}
+}
+
+// TestComparePassesWithinThreshold: a 30% slowdown passes a 50% gate and
+// fails the default 15% one.
+func TestComparePassesWithinThreshold(t *testing.T) {
+	old := testManifest(t, "old.json", baseResults())
+	drift := baseResults()
+	for i := range drift {
+		drift[i].NsPerOp *= 1.3
+	}
+	nu := testManifest(t, "new.json", drift)
+
+	var stdout, stderr bytes.Buffer
+	if code := realMain([]string{"-compare", old, "-compare-to", nu, "-threshold", "0.5"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("loose threshold: exit %d, want 0\n%s", code, stdout.String())
+	}
+	stdout.Reset()
+	if code := realMain([]string{"-compare", old, "-compare-to", nu}, &stdout, &stderr); code != 1 {
+		t.Fatalf("default threshold: exit %d, want 1\n%s", code, stdout.String())
+	}
+}
+
+// TestCompareIgnoresCoverageDifferences: a smoke-subset manifest compared
+// against a full baseline only gates the intersection.
+func TestCompareIgnoresCoverageDifferences(t *testing.T) {
+	full := append(baseResults(), perf.Result{
+		Name: "live/update-roundtrip", Layer: "live", Reps: 10, Ops: 1, NsPerOp: 1e6,
+	})
+	old := testManifest(t, "old.json", full)
+	nu := testManifest(t, "new.json", baseResults())
+
+	var stdout, stderr bytes.Buffer
+	if code := realMain([]string{"-compare", old, "-compare-to", nu}, &stdout, &stderr); code != 0 {
+		t.Fatalf("subset compare: exit %d, want 0\n%s", code, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "live/update-roundtrip") {
+		t.Errorf("missing-scenario note absent:\n%s", stdout.String())
+	}
+}
+
+// TestListEnumeratesScenarios checks -list prints every registered
+// scenario with its layer.
+func TestListEnumeratesScenarios(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := realMain([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exit %d", code)
+	}
+	for _, s := range perf.Scenarios() {
+		if !strings.Contains(stdout.String(), s.Name) {
+			t.Errorf("-list missing scenario %s", s.Name)
+		}
+	}
+	if !strings.Contains(stdout.String(), "[smoke]") {
+		t.Error("-list does not mark the smoke subset")
+	}
+}
+
+// TestBadFlagCombos: -compare-to without -compare, bad regexp, bad
+// manifest path all exit 2.
+func TestBadFlagCombos(t *testing.T) {
+	cases := [][]string{
+		{"-compare-to", "x.json"},
+		{"-run", "(["},
+		{"-compare", "does-not-exist.json", "-compare-to", "also-missing.json"},
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := realMain(args, &stdout, &stderr); code != 2 {
+			t.Errorf("args %v: exit %d, want 2", args, code)
+		}
+	}
+}

@@ -32,7 +32,7 @@ func (c *Client) Run(serverAddr string) error {
 	}
 	defer func() { _ = conn.Close() }()
 
-	if err := conn.Send(&transport.Msg{Kind: transport.KindHello, From: c.ID, Bid: roleClient}); err != nil {
+	if err := conn.Send(&transport.Msg{Kind: transport.KindHello, From: c.ID, Bid: RoleClient}); err != nil {
 		return err
 	}
 	// Both frames are reused across iterations: RecvInto recycles the

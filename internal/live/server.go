@@ -19,9 +19,11 @@ import (
 )
 
 // Roles used in hello frames (Msg.Bid doubles as the role field there).
+// Exported so out-of-package harnesses (internal/perf) can register raw
+// transport connections against a live Server.
 const (
-	roleClient = 1
-	roleServer = 2
+	RoleClient = 1
+	RoleServer = 2
 )
 
 // outbox decouples protocol handlers from TCP backpressure: handlers
@@ -296,7 +298,7 @@ func (s *Server) ConnectPeers(addrs []string) error {
 		if err != nil {
 			return fmt.Errorf("live: server %d -> %d: %w", s.ID, id, err)
 		}
-		if err := conn.Send(&transport.Msg{Kind: transport.KindHello, From: s.ID, Bid: roleServer}); err != nil {
+		if err := conn.Send(&transport.Msg{Kind: transport.KindHello, From: s.ID, Bid: RoleServer}); err != nil {
 			return err
 		}
 		s.peers[id] = newOutbox(conn, s.peerDelay)
@@ -361,9 +363,9 @@ func (s *Server) readLoop(conn *transport.Conn) {
 		return
 	}
 	switch hello.Bid {
-	case roleClient:
+	case RoleClient:
 		s.registerClient(hello.From, conn)
-	case roleServer:
+	case RoleServer:
 		// Inbound peer link: read-only; our own dialed link sends.
 	default:
 		_ = conn.Close()

@@ -3,24 +3,30 @@ package metrics
 import "math"
 
 // Crossover returns the first virtual time at which trace a's accuracy
-// overtakes trace b's and stays strictly ahead at that sample, comparing
-// at b's sample times by step interpolation. It reports whether a
-// crossover exists at all; a trace that starts ahead crosses at its first
+// overtakes trace b's and stays strictly ahead at every later b-sample,
+// comparing at b's sample times by step interpolation. A momentary
+// overtake that b later reverses does not count; the reported time is the
+// start of the final, permanent lead. It reports whether such a crossover
+// exists; a trace that is ahead at every sample crosses at b's first
 // point.
 func Crossover(a, b Trace) (float64, bool) {
 	if len(a) == 0 || len(b) == 0 {
 		return 0, false
 	}
-	for _, p := range b {
-		av, ok := ValueAt(a, p.Time)
-		if !ok {
-			continue
+	// Scan backwards: the crossover is the earliest b-sample such that a
+	// is strictly ahead there and at every sample after it.
+	crossAt := -1
+	for i := len(b) - 1; i >= 0; i-- {
+		av, ok := ValueAt(a, b[i].Time)
+		if !ok || av <= b[i].Acc {
+			break
 		}
-		if av > p.Acc {
-			return p.Time, true
-		}
+		crossAt = i
 	}
-	return 0, false
+	if crossAt < 0 {
+		return 0, false
+	}
+	return b[crossAt].Time, true
 }
 
 // ValueAt returns the trace's accuracy at time t using last-sample-holds

@@ -34,10 +34,10 @@ func TestCrossover(t *testing.T) {
 	if !ok || at != 2 {
 		t.Errorf("Crossover = %v,%v, want 2,true", at, ok)
 	}
-	// slow never overtakes fast after t=2... it is ahead at t=1.
-	at, ok = Crossover(slow, fast)
-	if !ok || at != 1 {
-		t.Errorf("reverse Crossover = %v,%v, want 1,true", at, ok)
+	// slow leads only at t=1 and is behind from t=2 on: a transient lead
+	// that does not last is not a crossover.
+	if at, ok := Crossover(slow, fast); ok {
+		t.Errorf("reverse Crossover reported transient lead at %v", at)
 	}
 	if _, ok := Crossover(nil, fast); ok {
 		t.Error("empty trace crossed")
@@ -182,5 +182,34 @@ func TestCrossoverBoundaries(t *testing.T) {
 	tie := linearTrace([]float64{1, 2}, []float64{0.5, 0.8})
 	if _, ok := Crossover(tie, tr); ok {
 		t.Error("tie-everywhere candidate crossed")
+	}
+}
+
+// TestCrossoverStaysAhead pins the "stays strictly ahead" promise: a
+// momentary overtake that the reference later reverses is not a
+// crossover, and the reported time is the start of the permanent lead,
+// not the first transient one.
+func TestCrossoverStaysAhead(t *testing.T) {
+	// a spikes ahead at t=2 but b retakes the lead at t=3 and keeps it.
+	a := linearTrace([]float64{1, 2, 3, 4}, []float64{0.1, 0.6, 0.5, 0.5})
+	b := linearTrace([]float64{1, 2, 3, 4}, []float64{0.3, 0.4, 0.7, 0.8})
+	if at, ok := Crossover(a, b); ok {
+		t.Errorf("transient overtake reported as crossover at %v", at)
+	}
+
+	// a overtakes at t=2, falls back at t=3, then overtakes for good at
+	// t=4: the crossover is the start of the final lead, not the blip.
+	a = linearTrace([]float64{1, 2, 3, 4, 5}, []float64{0.1, 0.6, 0.5, 0.8, 0.9})
+	b = linearTrace([]float64{1, 2, 3, 4, 5}, []float64{0.3, 0.4, 0.7, 0.7, 0.75})
+	at, ok := Crossover(a, b)
+	if !ok || at != 4 {
+		t.Errorf("overtake-dip-overtake crossover = %v,%v, want 4,true", at, ok)
+	}
+
+	// Falling to a tie (not strictly behind) still breaks the lead.
+	a = linearTrace([]float64{1, 2, 3}, []float64{0.6, 0.5, 0.5})
+	b = linearTrace([]float64{1, 2, 3}, []float64{0.3, 0.5, 0.5})
+	if at, ok := Crossover(a, b); ok {
+		t.Errorf("lead that decays to a tie crossed at %v", at)
 	}
 }

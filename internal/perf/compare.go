@@ -1,0 +1,135 @@
+package perf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DefaultThreshold is the relative ns/op slowdown beyond which a
+// scenario counts as regressed (15%).
+const DefaultThreshold = 0.15
+
+// Delta is the old-vs-new comparison of one scenario present in both
+// manifests.
+type Delta struct {
+	Name string
+	Old  Result
+	New  Result
+	// TimeRatio is new/old ns per op (>1 = slower).
+	TimeRatio float64
+	// TimeRegressed is set when the slowdown exceeds the threshold.
+	TimeRegressed bool
+	// AllocRegressed is set when allocs/op grew beyond both the relative
+	// threshold and half an allocation in absolute terms. The absolute
+	// guard keeps counter jitter from flagging, while a genuine 0->1
+	// allocs/op regression (losing an allocation-free hot path) always
+	// fails.
+	AllocRegressed bool
+}
+
+// Regressed reports whether the scenario regressed on any gated axis.
+func (d Delta) Regressed() bool { return d.TimeRegressed || d.AllocRegressed }
+
+// Report is the outcome of comparing a new manifest against a baseline.
+type Report struct {
+	Threshold float64
+	Deltas    []Delta
+	// MissingInNew lists baseline scenarios the new manifest does not
+	// cover (informational: a smoke run compared against a full baseline
+	// legitimately covers a subset).
+	MissingInNew []string
+	// NewScenarios lists scenarios with no baseline entry.
+	NewScenarios []string
+}
+
+// Compare diffs fresh results against a baseline. Only scenarios present
+// in both manifests are gated; coverage differences are reported but
+// never fail the comparison. threshold <= 0 selects DefaultThreshold.
+func Compare(baseline, fresh *Manifest, threshold float64) *Report {
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	rep := &Report{Threshold: threshold}
+	for _, old := range baseline.Scenarios {
+		nu := fresh.Find(old.Name)
+		if nu == nil {
+			rep.MissingInNew = append(rep.MissingInNew, old.Name)
+			continue
+		}
+		d := Delta{Name: old.Name, Old: old, New: *nu}
+		if old.NsPerOp > 0 {
+			d.TimeRatio = nu.NsPerOp / old.NsPerOp
+			d.TimeRegressed = d.TimeRatio > 1+threshold
+		}
+		allocGuard := old.AllocsPerOp * threshold
+		if allocGuard < 0.5 {
+			allocGuard = 0.5
+		}
+		d.AllocRegressed = nu.AllocsPerOp > old.AllocsPerOp+allocGuard
+		rep.Deltas = append(rep.Deltas, d)
+	}
+	for _, nu := range fresh.Scenarios {
+		if baseline.Find(nu.Name) == nil {
+			rep.NewScenarios = append(rep.NewScenarios, nu.Name)
+		}
+	}
+	return rep
+}
+
+// Regressed reports whether any gated scenario regressed.
+func (r *Report) Regressed() bool {
+	for _, d := range r.Deltas {
+		if d.Regressed() {
+			return true
+		}
+	}
+	return false
+}
+
+// RegressedNames lists the regressed scenarios.
+func (r *Report) RegressedNames() []string {
+	var out []string
+	for _, d := range r.Deltas {
+		if d.Regressed() {
+			out = append(out, d.Name)
+		}
+	}
+	return out
+}
+
+// Render formats the per-scenario delta report.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "perf comparison (threshold %.0f%% slower = regression)\n", 100*r.Threshold)
+	fmt.Fprintf(&b, "%-28s %14s %14s %8s %10s  %s\n",
+		"scenario", "old ns/op", "new ns/op", "ratio", "allocs", "verdict")
+	for _, d := range r.Deltas {
+		verdict := "ok"
+		switch {
+		case d.TimeRegressed && d.AllocRegressed:
+			verdict = "REGRESSED (time, allocs)"
+		case d.TimeRegressed:
+			verdict = "REGRESSED (time)"
+		case d.AllocRegressed:
+			verdict = "REGRESSED (allocs)"
+		case d.TimeRatio > 0 && d.TimeRatio < 1-r.Threshold:
+			verdict = "improved"
+		}
+		fmt.Fprintf(&b, "%-28s %14.0f %14.0f %7.2fx %4.1f→%-4.1f  %s\n",
+			d.Name, d.Old.NsPerOp, d.New.NsPerOp, d.TimeRatio,
+			d.Old.AllocsPerOp, d.New.AllocsPerOp, verdict)
+	}
+	for _, name := range r.MissingInNew {
+		fmt.Fprintf(&b, "%-28s (not in new manifest — not gated)\n", name)
+	}
+	for _, name := range r.NewScenarios {
+		fmt.Fprintf(&b, "%-28s (new scenario — no baseline)\n", name)
+	}
+	if names := r.RegressedNames(); len(names) > 0 {
+		fmt.Fprintf(&b, "FAIL: %d scenario(s) regressed: %s\n",
+			len(names), strings.Join(names, ", "))
+	} else {
+		fmt.Fprintf(&b, "PASS: no scenario regressed beyond %.0f%%\n", 100*r.Threshold)
+	}
+	return b.String()
+}

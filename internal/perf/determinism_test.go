@@ -1,0 +1,50 @@
+package perf
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/spyker-fl/spyker/internal/obs"
+)
+
+// TestPerfRecorderDoesNotPerturbSimulation is the determinism guard for
+// the perf suite (companion to obs's TestTracingDoesNotPerturbSimulation):
+// attaching the recorder's counters to a simulation must leave the event
+// schedule byte-identical — same events, same order, same virtual
+// timestamps — to an uninstrumented run. If instrumentation ever steals a
+// tiebreak or reorders the heap, the measured system is no longer the
+// shipped system and every perf number is suspect.
+func TestPerfRecorderDoesNotPerturbSimulation(t *testing.T) {
+	const seed, n = 11, 5000
+
+	var bare []byte
+	tBare := runSimWorkload(seed, n, nil, &bare)
+
+	reg := obs.NewRegistry()
+	var instrumented []byte
+	tInst := runSimWorkload(seed, n, reg, &instrumented)
+
+	if tBare != tInst {
+		t.Errorf("final virtual time diverged: bare %v, instrumented %v", tBare, tInst)
+	}
+	if len(bare) != 16*n {
+		t.Fatalf("bare run recorded %d bytes, want %d", len(bare), 16*n)
+	}
+	if !bytes.Equal(bare, instrumented) {
+		// Locate the first diverging event for the failure message.
+		at := -1
+		for i := 0; i < len(bare) && i < len(instrumented); i++ {
+			if bare[i] != instrumented[i] {
+				at = i / 16
+				break
+			}
+		}
+		t.Fatalf("event schedule diverged under instrumentation (first divergence at event record %d)", at)
+	}
+
+	// And the recorder must actually have observed the run — a guard that
+	// passes because instrumentation silently no-opped proves nothing.
+	if got := reg.Counter(obs.MetricSimEvents).Value(); got != int64(n) {
+		t.Errorf("instrumented run counted %d events, want %d", got, n)
+	}
+}

@@ -1,0 +1,168 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// SchemaVersion identifies the manifest layout. Readers reject manifests
+// with a different major schema so a comparator never silently diffs
+// incompatible records.
+const SchemaVersion = 1
+
+// Result is the measured outcome of one scenario.
+type Result struct {
+	Name  string `json:"name"`
+	Layer string `json:"layer"`
+	Smoke bool   `json:"smoke,omitempty"`
+	Reps  int    `json:"reps"`
+	// Ops is the number of logical operations per timed repetition; the
+	// per-op figures below are already divided by it.
+	Ops int `json:"ops_per_rep"`
+	// NsPerOp is the median per-rep duration over Ops — robust to
+	// descheduling spikes on shared machines, which is what the comparator
+	// gates across runs. StddevNs is the mean-based spread, the noise
+	// indicator to read the comparison ratio against.
+	NsPerOp     float64 `json:"ns_per_op"`
+	StddevNs    float64 `json:"stddev_ns"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// Extras carries scenario-specific counters (events/sec, bytes
+	// accounted, obs totals); they are informational, never gated.
+	Extras map[string]float64 `json:"extras,omitempty"`
+}
+
+// StddevPct is the per-rep standard deviation as a percentage of the
+// mean — the noise figure printed next to every timing.
+func (r Result) StddevPct() float64 {
+	if r.NsPerOp == 0 {
+		return 0
+	}
+	return 100 * r.StddevNs / r.NsPerOp
+}
+
+// Manifest is one recorded perf-suite run: environment fingerprint plus
+// per-scenario results. BENCH_<pr>.json at the repo root is the checked-in
+// baseline of this shape.
+type Manifest struct {
+	SchemaVersion int    `json:"schema_version"`
+	GitRev        string `json:"git_rev,omitempty"`
+	GoVersion     string `json:"go_version"`
+	GOOS          string `json:"goos"`
+	GOARCH        string `json:"goarch"`
+	NumCPU        int    `json:"num_cpu"`
+
+	Scenarios []Result `json:"scenarios"`
+}
+
+// NewManifest creates an empty manifest stamped with the current
+// environment. GitRev is left for the caller (the CLI shells out to git;
+// the library does not).
+func NewManifest() *Manifest {
+	return &Manifest{
+		SchemaVersion: SchemaVersion,
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+	}
+}
+
+// Find returns the result with the given scenario name, or nil.
+func (m *Manifest) Find(name string) *Result {
+	for i := range m.Scenarios {
+		if m.Scenarios[i].Name == name {
+			return &m.Scenarios[i]
+		}
+	}
+	return nil
+}
+
+// WriteFile marshals the manifest as indented JSON.
+func (m *Manifest) WriteFile(path string) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadManifest loads and validates a manifest file.
+func ReadManifest(path string) (*Manifest, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("perf: %s: %w", path, err)
+	}
+	if m.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("perf: %s has schema version %d, this build reads %d",
+			path, m.SchemaVersion, SchemaVersion)
+	}
+	if len(m.Scenarios) == 0 {
+		return nil, fmt.Errorf("perf: %s contains no scenarios", path)
+	}
+	return &m, nil
+}
+
+// MarkdownTable renders the manifest as the table EXPERIMENTS.md embeds.
+func (m *Manifest) MarkdownTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "| scenario | layer | ns/op | ±%% | allocs/op | B/op | extras |\n")
+	fmt.Fprintf(&b, "|---|---|---:|---:|---:|---:|---|\n")
+	for _, r := range m.Scenarios {
+		fmt.Fprintf(&b, "| %s | %s | %s | %.1f | %.1f | %s | %s |\n",
+			r.Name, r.Layer, groupDigits(r.NsPerOp), r.StddevPct(),
+			r.AllocsPerOp, groupDigits(r.BytesPerOp), renderExtras(r.Extras))
+	}
+	return b.String()
+}
+
+func renderExtras(extras map[string]float64) string {
+	if len(extras) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(extras))
+	for k := range extras {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%s", k, trimFloat(extras[k])))
+	}
+	return strings.Join(parts, ", ")
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+// groupDigits formats a non-negative value with thousands separators
+// ("1234567.8" -> "1,234,568"), keeping big ns/op figures readable.
+func groupDigits(v float64) string {
+	s := fmt.Sprintf("%.0f", v)
+	if len(s) <= 3 || strings.HasPrefix(s, "-") {
+		return s
+	}
+	var b strings.Builder
+	lead := len(s) % 3
+	if lead > 0 {
+		b.WriteString(s[:lead])
+	}
+	for i := lead; i < len(s); i += 3 {
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(s[i : i+3])
+	}
+	return b.String()
+}

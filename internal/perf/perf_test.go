@@ -1,0 +1,298 @@
+package perf
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestRegistryCoverage checks the registered suite meets the coverage
+// contract: at least eight scenarios spanning the tensor, paramvec, nn,
+// spyker, simulation, and live layers, every scenario well-formed, and a
+// non-empty smoke subset.
+func TestRegistryCoverage(t *testing.T) {
+	scens := Scenarios()
+	if len(scens) < 8 {
+		t.Fatalf("registered %d scenarios, want >= 8", len(scens))
+	}
+	layers := map[string]bool{}
+	smoke := 0
+	for _, s := range scens {
+		if s.Name == "" || s.Layer == "" || s.Setup == nil {
+			t.Errorf("malformed scenario %+v", s)
+		}
+		if !strings.HasPrefix(s.Name, s.Layer+"/") {
+			t.Errorf("scenario %q not namespaced under its layer %q", s.Name, s.Layer)
+		}
+		layers[s.Layer] = true
+		if s.Smoke {
+			smoke++
+		}
+	}
+	for _, want := range []string{
+		LayerTensor, LayerParamvec, LayerNN, LayerSpyker, LayerSimulation, LayerLive,
+	} {
+		if !layers[want] {
+			t.Errorf("no scenario covers layer %q", want)
+		}
+	}
+	if smoke == 0 {
+		t.Error("smoke subset is empty; CI has nothing to gate on")
+	}
+	if !sort.SliceIsSorted(scens, func(i, j int) bool { return scens[i].Name < scens[j].Name }) {
+		t.Error("Scenarios() is not sorted by name")
+	}
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	for _, bad := range []Scenario{
+		{Name: "", Layer: LayerTensor, Setup: func() (Instance, error) { return Instance{}, nil }},
+		{Name: "tensor/matvec-kernels", Layer: LayerTensor, Setup: func() (Instance, error) { return Instance{}, nil }},
+		{Name: "x/y", Layer: "x"},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Register(%q) did not panic", bad.Name)
+				}
+			}()
+			Register(bad)
+		}()
+	}
+}
+
+func TestMatches(t *testing.T) {
+	s := Scenario{Name: "paramvec/axpy", Layer: LayerParamvec, Smoke: true}
+	cases := []struct {
+		pat  string
+		want bool
+	}{
+		{"", true}, {"axpy", true}, {"paramvec", true}, {"smoke", true},
+		{"^nn/", false}, {"live", false},
+	}
+	for _, c := range cases {
+		var re *regexp.Regexp
+		if c.pat != "" {
+			re = regexp.MustCompile(c.pat)
+		}
+		if got := s.Matches(re); got != c.want {
+			t.Errorf("Matches(%q) = %v, want %v", c.pat, got, c.want)
+		}
+	}
+	// Non-smoke scenario must not match the smoke tag.
+	ns := Scenario{Name: "live/update-roundtrip", Layer: LayerLive}
+	if ns.Matches(regexp.MustCompile("smoke")) {
+		t.Error("non-smoke scenario matched the smoke tag")
+	}
+}
+
+// TestRunProducesManifest exercises the full measurement protocol on one
+// cheap real scenario, including pprof emission.
+func TestRunProducesManifest(t *testing.T) {
+	dir := t.TempDir()
+	var log bytes.Buffer
+	m, err := Run(Options{
+		Filter:   regexp.MustCompile(`^paramvec/axpy$`),
+		Reps:     3,
+		Warmup:   1,
+		PprofDir: dir,
+		Log:      &log,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Scenarios) != 1 {
+		t.Fatalf("got %d scenarios, want 1", len(m.Scenarios))
+	}
+	r := m.Scenarios[0]
+	if r.Name != "paramvec/axpy" || r.Reps != 3 || r.NsPerOp <= 0 {
+		t.Errorf("unexpected result %+v", r)
+	}
+	if m.SchemaVersion != SchemaVersion || m.GoVersion == "" || m.NumCPU <= 0 {
+		t.Errorf("manifest env fingerprint incomplete: %+v", m)
+	}
+	if !strings.Contains(log.String(), "paramvec/axpy") {
+		t.Error("progress log missing scenario line")
+	}
+	for _, want := range []string{"paramvec-axpy.cpu.pprof", "paramvec-axpy.heap.pprof"} {
+		if fi, err := os.Stat(filepath.Join(dir, want)); err != nil || fi.Size() == 0 {
+			t.Errorf("profile %s missing or empty (err=%v)", want, err)
+		}
+	}
+}
+
+func TestRunNoMatchErrors(t *testing.T) {
+	if _, err := Run(Options{Filter: regexp.MustCompile("no-such-scenario")}); err == nil {
+		t.Fatal("Run with an unmatched filter succeeded")
+	}
+}
+
+func TestMeanStddev(t *testing.T) {
+	mean, std := meanStddev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if mean != 5 {
+		t.Errorf("mean = %v, want 5", mean)
+	}
+	if want := math.Sqrt(32.0 / 7.0); math.Abs(std-want) > 1e-12 {
+		t.Errorf("stddev = %v, want %v", std, want)
+	}
+	if m, s := meanStddev([]float64{3}); m != 3 || s != 0 {
+		t.Errorf("single sample: mean %v std %v", m, s)
+	}
+}
+
+// TestMedian: the gated figure must shrug off a single contention spike.
+func TestMedian(t *testing.T) {
+	if got := median([]float64{5, 1, 3}); got != 3 {
+		t.Errorf("odd median = %v, want 3", got)
+	}
+	if got := median([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Errorf("even median = %v, want 2.5", got)
+	}
+	if got := median(nil); got != 0 {
+		t.Errorf("empty median = %v, want 0", got)
+	}
+	// One 100x outlier rep leaves the median where the quiet reps sit.
+	spiky := []float64{10, 11, 9, 1000, 10}
+	if got := median(spiky); got != 10 {
+		t.Errorf("spiky median = %v, want 10", got)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := NewManifest()
+	m.GitRev = "abc1234"
+	m.Scenarios = []Result{{
+		Name: "x/y", Layer: "x", Smoke: true, Reps: 5, Ops: 10,
+		NsPerOp: 123.4, StddevNs: 5.6, AllocsPerOp: 0, BytesPerOp: 80,
+		Extras: map[string]float64{"k": 1.5},
+	}}
+	p := filepath.Join(t.TempDir(), "m.json")
+	if err := m.WriteFile(p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.GitRev != "abc1234" || len(got.Scenarios) != 1 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	r := got.Find("x/y")
+	if r == nil || r.NsPerOp != 123.4 || r.Extras["k"] != 1.5 {
+		t.Fatalf("Find: %+v", r)
+	}
+	if got.Find("missing") != nil {
+		t.Error("Find returned a result for an unknown name")
+	}
+}
+
+func TestReadManifestValidation(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := map[string]string{
+		"garbage.json": "{not json",
+		"schema.json":  `{"schema_version": 99, "scenarios": [{"name":"a"}]}`,
+		"empty.json":   `{"schema_version": 1, "scenarios": []}`,
+	}
+	for name, body := range cases {
+		if _, err := ReadManifest(write(name, body)); err == nil {
+			t.Errorf("ReadManifest(%s) accepted invalid input", name)
+		}
+	}
+}
+
+func TestCompareVerdicts(t *testing.T) {
+	base := &Manifest{SchemaVersion: SchemaVersion, Scenarios: []Result{
+		{Name: "a", NsPerOp: 1000, AllocsPerOp: 0},
+		{Name: "b", NsPerOp: 1000, AllocsPerOp: 100},
+		{Name: "gone", NsPerOp: 10},
+	}}
+	fresh := &Manifest{SchemaVersion: SchemaVersion, Scenarios: []Result{
+		{Name: "a", NsPerOp: 500, AllocsPerOp: 0},    // improved
+		{Name: "b", NsPerOp: 1100, AllocsPerOp: 130}, // time ok at 15%, allocs +30% regressed
+		{Name: "fresh-face", NsPerOp: 10},
+	}}
+	rep := Compare(base, fresh, 0) // 0 selects DefaultThreshold
+	if rep.Threshold != DefaultThreshold {
+		t.Errorf("threshold = %v", rep.Threshold)
+	}
+	if len(rep.Deltas) != 2 {
+		t.Fatalf("gated %d scenarios, want 2", len(rep.Deltas))
+	}
+	a, b := rep.Deltas[0], rep.Deltas[1]
+	if a.Regressed() || a.TimeRatio != 0.5 {
+		t.Errorf("delta a: %+v", a)
+	}
+	if b.TimeRegressed || !b.AllocRegressed {
+		t.Errorf("delta b: %+v", b)
+	}
+	if !rep.Regressed() || len(rep.RegressedNames()) != 1 || rep.RegressedNames()[0] != "b" {
+		t.Errorf("report verdict wrong: %v", rep.RegressedNames())
+	}
+	if len(rep.MissingInNew) != 1 || rep.MissingInNew[0] != "gone" {
+		t.Errorf("MissingInNew = %v", rep.MissingInNew)
+	}
+	if len(rep.NewScenarios) != 1 || rep.NewScenarios[0] != "fresh-face" {
+		t.Errorf("NewScenarios = %v", rep.NewScenarios)
+	}
+	out := rep.Render()
+	for _, want := range []string{"improved", "REGRESSED (allocs)", "FAIL: 1 scenario", "not gated"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCompareAllocJitterTolerated: the absolute half-allocation guard
+// keeps sub-allocation counter noise from gating, while 0 -> 1 fails.
+func TestCompareAllocJitterTolerated(t *testing.T) {
+	base := &Manifest{SchemaVersion: SchemaVersion,
+		Scenarios: []Result{{Name: "a", NsPerOp: 100, AllocsPerOp: 0}}}
+	jitter := &Manifest{SchemaVersion: SchemaVersion,
+		Scenarios: []Result{{Name: "a", NsPerOp: 100, AllocsPerOp: 0.3}}}
+	if Compare(base, jitter, 0).Regressed() {
+		t.Error("0.3 allocs/op jitter flagged as regression")
+	}
+	leak := &Manifest{SchemaVersion: SchemaVersion,
+		Scenarios: []Result{{Name: "a", NsPerOp: 100, AllocsPerOp: 1}}}
+	if !Compare(base, leak, 0).Regressed() {
+		t.Error("0 -> 1 allocs/op not flagged")
+	}
+}
+
+func TestMarkdownTable(t *testing.T) {
+	m := &Manifest{SchemaVersion: SchemaVersion, Scenarios: []Result{{
+		Name: "spyker/server-aggregate", Layer: "spyker",
+		NsPerOp: 1234567.8, AllocsPerOp: 0, BytesPerOp: 12,
+		Extras: map[string]float64{"rounds": 20, "ratio": 1.25},
+	}}}
+	out := m.MarkdownTable()
+	for _, want := range []string{
+		"| spyker/server-aggregate | spyker | 1,234,568 |",
+		"ratio=1.25, rounds=20",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGroupDigits(t *testing.T) {
+	cases := map[float64]string{0: "0", 999: "999", 1000: "1,000", 1234567.8: "1,234,568"}
+	for in, want := range cases {
+		if got := groupDigits(in); got != want {
+			t.Errorf("groupDigits(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package perf
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Options parameterize a suite run.
+type Options struct {
+	// Filter selects scenarios: it is matched against each scenario's
+	// name, its layer, and the literal tag "smoke" for smoke scenarios.
+	// Nil runs everything.
+	Filter *regexp.Regexp
+	// Reps is the default number of timed repetitions per scenario
+	// (0 = 20). Per-rep durations feed the mean and stddev.
+	Reps int
+	// Warmup is the default number of untimed repetitions executed before
+	// measurement (0 = 2); they populate caches, pools and JIT-warm the
+	// branch predictors so the timed reps measure steady state.
+	Warmup int
+	// PprofDir, when set, receives one <scenario>.cpu.pprof profile
+	// covering the timed loop and one <scenario>.heap.pprof written after
+	// it, per scenario (slashes in names become dashes).
+	PprofDir string
+	// Log receives one progress line per scenario (nil = silent).
+	Log io.Writer
+}
+
+// Matches reports whether the scenario is selected by the filter: the
+// pattern is tried against the name, the layer, and the "smoke" tag.
+func (s Scenario) Matches(filter *regexp.Regexp) bool {
+	if filter == nil {
+		return true
+	}
+	if filter.MatchString(s.Name) || filter.MatchString(s.Layer) {
+		return true
+	}
+	return s.Smoke && filter.MatchString("smoke")
+}
+
+// Run executes every selected scenario under the common measurement
+// protocol and assembles the manifest. Scenario setup errors abort the
+// run — a perf suite with silently missing scenarios would compare clean
+// against a baseline that covers more.
+func Run(opts Options) (*Manifest, error) {
+	reps := opts.Reps
+	if reps <= 0 {
+		reps = 20
+	}
+	warmup := opts.Warmup
+	if warmup <= 0 {
+		warmup = 2
+	}
+	if opts.PprofDir != "" {
+		if err := os.MkdirAll(opts.PprofDir, 0o755); err != nil {
+			return nil, fmt.Errorf("perf: pprof dir: %w", err)
+		}
+	}
+
+	m := NewManifest()
+	for _, s := range Scenarios() {
+		if !s.Matches(opts.Filter) {
+			continue
+		}
+		r, err := runScenario(s, reps, warmup, opts.PprofDir)
+		if err != nil {
+			return nil, fmt.Errorf("perf: scenario %s: %w", s.Name, err)
+		}
+		m.Scenarios = append(m.Scenarios, r)
+		if opts.Log != nil {
+			fmt.Fprintf(opts.Log, "%-28s %12.0f ns/op  ±%6.1f%%  %8.1f allocs/op  %10.0f B/op\n",
+				r.Name, r.NsPerOp, r.StddevPct(), r.AllocsPerOp, r.BytesPerOp)
+		}
+	}
+	if len(m.Scenarios) == 0 {
+		return nil, fmt.Errorf("perf: no scenario matches the filter")
+	}
+	return m, nil
+}
+
+// runScenario applies the measurement protocol to one scenario: setup,
+// warmup, GC fence, allocation-counter snapshot, per-rep wall timing,
+// extras sampling, optional profiles, cleanup.
+func runScenario(s Scenario, reps, warmup int, pprofDir string) (Result, error) {
+	inst, err := s.Setup()
+	if err != nil {
+		return Result{}, err
+	}
+	if inst.Step == nil {
+		return Result{}, fmt.Errorf("instance has no Step")
+	}
+	if inst.Cleanup != nil {
+		defer inst.Cleanup()
+	}
+	if s.Reps > 0 {
+		reps = s.Reps
+	}
+	if s.Warmup > 0 {
+		warmup = s.Warmup
+	}
+	ops := inst.Ops
+	if ops <= 0 {
+		ops = 1
+	}
+
+	for i := 0; i < warmup; i++ {
+		inst.Step()
+	}
+
+	var cpuFile *os.File
+	if pprofDir != "" {
+		f, err := os.Create(profilePath(pprofDir, s.Name, "cpu"))
+		if err != nil {
+			return Result{}, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			_ = f.Close()
+			return Result{}, err
+		}
+		cpuFile = f
+	}
+
+	// The GC fence plus monotonic Mallocs/TotalAlloc deltas make the
+	// allocation figures independent of collection timing; the two
+	// ReadMemStats stop-the-worlds sit outside the timed region.
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	samples := make([]float64, reps)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		inst.Step()
+		samples[i] = float64(time.Since(start).Nanoseconds())
+	}
+
+	runtime.ReadMemStats(&after)
+	if cpuFile != nil {
+		pprof.StopCPUProfile()
+		_ = cpuFile.Close()
+	}
+	if pprofDir != "" {
+		if err := writeHeapProfile(profilePath(pprofDir, s.Name, "heap")); err != nil {
+			return Result{}, err
+		}
+	}
+
+	totalOps := float64(reps * ops)
+	// NsPerOp is the per-rep median: one descheduling spike in a rep
+	// shifts a mean by its full cost but leaves the median untouched, and
+	// the comparator gates on this figure across runs on shared machines.
+	// The mean-based stddev is kept as the noise indicator.
+	_, std := meanStddev(samples)
+	r := Result{
+		Name:        s.Name,
+		Layer:       s.Layer,
+		Smoke:       s.Smoke,
+		Reps:        reps,
+		Ops:         ops,
+		NsPerOp:     median(samples) / float64(ops),
+		StddevNs:    std / float64(ops),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / totalOps,
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / totalOps,
+	}
+	if inst.Extras != nil {
+		r.Extras = inst.Extras()
+	}
+	return r, nil
+}
+
+func meanStddev(samples []float64) (mean, std float64) {
+	if len(samples) == 0 {
+		return 0, 0
+	}
+	for _, v := range samples {
+		mean += v
+	}
+	mean /= float64(len(samples))
+	if len(samples) < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, v := range samples {
+		d := v - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / float64(len(samples)-1))
+}
+
+func median(samples []float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}
+
+func profilePath(dir, scenario, kind string) string {
+	name := strings.ReplaceAll(scenario, "/", "-")
+	return filepath.Join(dir, name+"."+kind+".pprof")
+}
+
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC() // flush garbage so the profile shows live allocations
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,86 @@
+package perf
+
+import (
+	"math/rand"
+
+	"github.com/spyker-fl/spyker/internal/data"
+	"github.com/spyker-fl/spyker/internal/nn"
+)
+
+// One SGD mini-batch (forward + backward over 8 samples + parameter
+// step) per model of the paper's evaluation. These are the compute
+// kernels every simulated or live client burns its training delay on, so
+// a slowdown here inflates every experiment's wall-clock.
+func init() {
+	Register(Scenario{
+		Name:  "nn/mnist-cnn-batch",
+		Layer: LayerNN,
+		Smoke: true,
+		Setup: func() (Instance, error) {
+			ds := data.GenerateImages(data.MNISTLike(32, 8, 1))
+			rng := rand.New(rand.NewSource(4))
+			ch, h, w := ds.Shape()
+			conv := nn.NewConv2D(ch, h, w, 6, 3, rng)
+			pool := nn.NewMaxPool2D(6, 10, 10)
+			net := nn.NewNetwork(
+				conv, nn.NewReLU(conv.OutSize()), pool,
+				nn.NewDense(pool.OutSize(), 32, rng), nn.NewReLU(32),
+				nn.NewDense(32, ds.NumClasses(), rng),
+			)
+			return Instance{
+				Step:   func() { trainBatch(net, ds, 8) },
+				Extras: func() map[string]float64 { return map[string]float64{"params": float64(net.NumParams())} },
+			}, nil
+		},
+	})
+	Register(Scenario{
+		Name:  "nn/cifar-cnn-batch",
+		Layer: LayerNN,
+		Setup: func() (Instance, error) {
+			ds := data.GenerateImages(data.CIFARLike(32, 8, 1))
+			rng := rand.New(rand.NewSource(5))
+			ch, h, w := ds.Shape()
+			conv1 := nn.NewConv2D(ch, h, w, 6, 3, rng)
+			conv2 := nn.NewConv2D(6, 10, 10, 8, 3, rng)
+			pool := nn.NewMaxPool2D(8, 8, 8)
+			net := nn.NewNetwork(
+				conv1, nn.NewReLU(conv1.OutSize()),
+				conv2, nn.NewReLU(conv2.OutSize()), pool,
+				nn.NewDense(pool.OutSize(), 32, rng), nn.NewReLU(32),
+				nn.NewDense(32, ds.NumClasses(), rng),
+			)
+			return Instance{
+				Step:   func() { trainBatch(net, ds, 8) },
+				Extras: func() map[string]float64 { return map[string]float64{"params": float64(net.NumParams())} },
+			}, nil
+		},
+	})
+	Register(Scenario{
+		Name:  "nn/char-lstm-window",
+		Layer: LayerNN,
+		Setup: func() (Instance, error) {
+			txt := data.GenerateText(data.WikiTextLike(512, 64, 1))
+			rng := rand.New(rand.NewSource(6))
+			lm := nn.NewCharLM(txt.Vocab(), 8, 16, rng)
+			window := txt.Window(0)
+			return Instance{
+				Step: func() {
+					if _, preds := lm.SeqLossAndGrad(window); preds > 0 {
+						lm.Step(0.05, preds, 5)
+					}
+				},
+				Extras: func() map[string]float64 { return map[string]float64{"params": float64(lm.NumParams())} },
+			}, nil
+		},
+	})
+}
+
+// trainBatch runs one mini-batch of SGD over the first n samples: the
+// per-example forward+backward accumulation followed by the clipped step,
+// exactly the loop fl.Classifier.Train runs per batch.
+func trainBatch(net *nn.Network, ds *data.Images, n int) {
+	for i := 0; i < n; i++ {
+		net.LossAndGrad(ds.Input(i), ds.Label(i))
+	}
+	net.Step(0.05, n, 5)
+}

@@ -1,0 +1,63 @@
+package perf
+
+import (
+	"github.com/spyker-fl/spyker/internal/obs"
+)
+
+func init() {
+	// The cost of observing: emit a representative protocol-event mix
+	// through the full instrumented-path sink (ring-buffer tracer + the
+	// derived-metrics bridge), the exact composition every traced sim or
+	// live run attaches. This bounds the overhead tracing adds per event
+	// — the no-op path is already covered by BenchmarkObsOverhead's
+	// end-to-end ratio.
+	Register(Scenario{
+		Name:  "obs/emit-traced",
+		Layer: LayerObs,
+		Smoke: true,
+		Setup: func() (Instance, error) {
+			const batch = 1000
+			tracer := obs.NewTracer(4096)
+			reg := obs.NewRegistry()
+			sink := obs.Multi(tracer, obs.NewMetricsSink(reg))
+			front := []int64{3, 1, 4, 1}
+			events := make([]obs.Event, batch)
+			for i := range events {
+				t := float64(i) * 0.001
+				switch i % 5 {
+				case 0:
+					events[i] = obs.Event{Time: t, Kind: obs.KindClientUpdate,
+						Node: i % 4, Peer: i % 32, Age: float64(i), Stale: 1,
+						UID: obs.UpdateUID(i%32, int64(i)), Front: front}
+				case 1:
+					events[i] = obs.Event{Time: t, Kind: obs.KindMsgSend,
+						Node: i % 32, Peer: obs.ServerNode + i%4, Bytes: 8 * modelDim}
+				case 2:
+					events[i] = obs.Event{Time: t, Kind: obs.KindMsgRecv,
+						Node: obs.ServerNode + i%4, Peer: i % 32, Bytes: 8 * modelDim}
+				case 3:
+					events[i] = obs.Event{Time: t, Kind: obs.KindServerAgg,
+						Node: i % 4, Peer: (i + 1) % 4, Age: float64(i), Bid: i / 5,
+						UID: obs.RoundUID(i%4, i/5), Front: front}
+				default:
+					events[i] = obs.Event{Time: t, Kind: obs.KindTokenPass,
+						Node: i % 4, Peer: (i + 1) % 4, Bid: i / 5}
+				}
+			}
+			return Instance{
+				Ops: batch,
+				Step: func() {
+					for _, e := range events {
+						sink.Emit(e)
+					}
+				},
+				Extras: func() map[string]float64 {
+					return map[string]float64{
+						"events_emitted": float64(tracer.Total()),
+						"ring_dropped":   float64(tracer.Dropped()),
+					}
+				},
+			}, nil
+		},
+	})
+}

@@ -1,0 +1,39 @@
+package perf
+
+import (
+	"math/rand"
+
+	"github.com/spyker-fl/spyker/internal/paramvec"
+)
+
+// modelDim matches the realistic flat-model size the aggregation
+// benchmarks of PR 2 standardized on (~25k parameters, the MNIST CNN).
+const modelDim = 25000
+
+// The two fused kernels every aggregation rule reduces to: saxpy
+// accumulation and the staleness-weighted convex merge. Both must stay
+// allocation-free — the comparator's alloc gate protects that invariant.
+func init() {
+	Register(Scenario{
+		Name:  "paramvec/axpy",
+		Layer: LayerParamvec,
+		Smoke: true,
+		Setup: func() (Instance, error) {
+			rng := rand.New(rand.NewSource(2))
+			v := paramvec.Vec(randVec(rng, modelDim))
+			x := randVec(rng, modelDim)
+			return Instance{Step: func() { v.AxpyInto(1e-6, x) }}, nil
+		},
+	})
+	Register(Scenario{
+		Name:  "paramvec/weighted-merge",
+		Layer: LayerParamvec,
+		Smoke: true,
+		Setup: func() (Instance, error) {
+			rng := rand.New(rand.NewSource(3))
+			v := paramvec.Vec(randVec(rng, modelDim))
+			x := randVec(rng, modelDim)
+			return Instance{Step: func() { v.WeightedMergeInto(1e-6, x) }}, nil
+		},
+	})
+}

@@ -1,0 +1,120 @@
+package perf
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/spyker-fl/spyker/internal/geo"
+	"github.com/spyker-fl/spyker/internal/obs"
+	"github.com/spyker-fl/spyker/internal/simulation"
+)
+
+func nowNs() float64 { return float64(time.Now().UnixNano()) }
+
+func init() {
+	// Raw event-loop throughput: heap push/pop plus dispatch for a batch
+	// of randomly-timed events, with the runtime counters every
+	// experiment run attaches (sim.Instrument). The events/sec extra is
+	// the headline figure for "how much simulated work per real second".
+	Register(Scenario{
+		Name:  "simulation/event-loop",
+		Layer: LayerSimulation,
+		Smoke: true,
+		Setup: func() (Instance, error) {
+			const events = 5000
+			reg := obs.NewRegistry()
+			var lastNs float64
+			return Instance{
+				Ops: events,
+				Step: func() {
+					start := nowNs()
+					runSimWorkload(11, events, reg, nil)
+					lastNs = nowNs() - start
+				},
+				Extras: func() map[string]float64 {
+					ev := float64(reg.Counter(obs.MetricSimEvents).Value())
+					out := map[string]float64{"events_dispatched": ev}
+					if lastNs > 0 {
+						out["events_per_sec"] = float64(events) / (lastNs / 1e9)
+					}
+					return out
+				},
+			}, nil
+		},
+	})
+
+	// Geo-network byte accounting: model-sized sends between four regions
+	// through the simulator, paying latency lookup, FIFO bookkeeping, the
+	// transfer log append, and delivery scheduling per message.
+	Register(Scenario{
+		Name:  "geo/send-accounting",
+		Layer: LayerGeo,
+		Smoke: true,
+		Setup: func() (Instance, error) {
+			const sends = 200
+			const msgBytes = 8 * modelDim // one flat model on the wire
+			sim := simulation.New()
+			net := geo.NewNetwork(sim, geo.Config{})
+			endpoints := make([]geo.Endpoint, len(geo.Regions))
+			for i, r := range geo.Regions {
+				endpoints[i] = geo.Endpoint{ID: i, Region: r}
+			}
+			delivered := 0
+			return Instance{
+				Ops: sends,
+				Step: func() {
+					for i := 0; i < sends; i++ {
+						src := endpoints[i%len(endpoints)]
+						dst := endpoints[(i+1)%len(endpoints)]
+						kind := geo.ClientServer
+						if i%3 == 0 {
+							kind = geo.ServerServer
+						}
+						net.Send(src, dst, msgBytes, kind, func() { delivered++ })
+					}
+					// Every delivery lands within a second of its send;
+					// the growing horizon keeps virtual time finite and
+					// monotone across repetitions.
+					sim.Run(sim.Now() + 3600)
+				},
+				Extras: func() map[string]float64 {
+					return map[string]float64{
+						"delivered":       float64(delivered),
+						"bytes_accounted": float64(net.AllBytes()),
+					}
+				},
+			}, nil
+		},
+	})
+}
+
+// runSimWorkload executes the standard event-loop workload: n events at
+// deterministic pseudo-random times, each appending its identity and
+// execution time to schedule (when non-nil). reg, when non-nil, attaches
+// the perf recorder's counters exactly as the event-loop scenario and
+// every experiment run do (simulation.Sim.Instrument). It returns the
+// final virtual time. The determinism guard compares schedule bytes
+// between instrumented and bare runs.
+func runSimWorkload(seed int64, n int, reg *obs.Registry, schedule *[]byte) float64 {
+	sim := simulation.New()
+	if reg != nil {
+		sim.Instrument(reg.Counter(obs.MetricSimEvents), reg.Gauge(obs.MetricSimQueueDepth))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		i := i
+		sim.Schedule(rng.Float64()*100, func() {
+			if schedule != nil {
+				var rec [16]byte
+				binary.LittleEndian.PutUint64(rec[:8], uint64(i))
+				binary.LittleEndian.PutUint64(rec[8:], math.Float64bits(sim.Now()))
+				*schedule = append(*schedule, rec[:]...)
+			}
+		})
+	}
+	// All events land within 100 virtual seconds; the finite horizon
+	// keeps the returned time comparable across runs.
+	return sim.Run(1e6)
+}

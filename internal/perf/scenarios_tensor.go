@@ -1,0 +1,43 @@
+package perf
+
+import (
+	"math/rand"
+
+	"github.com/spyker-fl/spyker/internal/tensor"
+)
+
+// Dense-layer kernel triple on a 256x256 matrix: forward MatVec, backward
+// MatVecT, and the AddOuter weight-gradient accumulation — the GEMM-shaped
+// inner loops every Dense layer spends its time in.
+func init() {
+	Register(Scenario{
+		Name:  "tensor/matvec-kernels",
+		Layer: LayerTensor,
+		Smoke: true,
+		Setup: func() (Instance, error) {
+			const rows, cols = 256, 256
+			rng := rand.New(rand.NewSource(1))
+			m := tensor.NewMatrix(rows, cols)
+			m.XavierInit(rng, cols, rows)
+			x := randVec(rng, cols)
+			dy := randVec(rng, rows)
+			fwd := make([]float64, rows)
+			bwd := make([]float64, cols)
+			return Instance{
+				Step: func() {
+					m.MatVec(fwd, x)
+					m.MatVecT(bwd, dy)
+					m.AddOuter(1e-3, dy, x)
+				},
+			}, nil
+		},
+	})
+}
+
+func randVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
