@@ -105,7 +105,9 @@ func (s *fedAvgServer) startRound() {
 		s.env.Pool.Put(snapshot)
 		return
 	}
-	for ci := range s.selected {
+	// Sorted walk: the send order schedules simulator events, so it must
+	// not depend on map iteration order.
+	for _, ci := range sortedKeys(s.selected) {
 		dst := s.env.ClientEndpoint(ci)
 		cc := s.clients[ci]
 		s.env.Net.Send(src, dst, s.env.ModelBytes, geo.ClientServer, func() {
@@ -121,6 +123,7 @@ func (s *fedAvgServer) startRound() {
 func (s *fedAvgServer) sampleClients() map[int]bool {
 	frac := s.env.Hyper.FedAvgFraction
 	all := make([]int, 0, len(s.clients))
+	//lint:sorted keys are collected and sorted just below
 	for ci := range s.clients {
 		all = append(all, ci)
 	}
@@ -154,14 +157,17 @@ func (s *fedAvgServer) receive(client int, update []float64, models func() [][]f
 	}
 	round := s.pending
 	s.pending = make(map[int][]float64)
+	// Sorted walks: float accumulation is not associative, so the merge
+	// order must not depend on map iteration order.
+	order := sortedKeys(round)
 	var totalShare float64
-	for ci := range round {
+	for _, ci := range order {
 		totalShare += s.shares[ci]
 	}
 	w := paramvec.Vec(s.w)
 	w.Zero()
-	for ci, up := range round {
-		w.AxpyInto(s.shares[ci]/totalShare, up)
+	for _, ci := range order {
+		w.AxpyInto(s.shares[ci]/totalShare, round[ci])
 	}
 	s.startRound()
 }

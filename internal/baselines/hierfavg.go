@@ -129,9 +129,11 @@ func (e *hierEdge) startRound() {
 		env.Pool.Put(snapshot)
 		return
 	}
-	for ci, c := range e.clients {
+	// Sorted walk: the send order schedules simulator events, so it must
+	// not depend on map iteration order.
+	for _, ci := range sortedKeys(e.clients) {
 		dst := env.ClientEndpoint(ci)
-		cc := c
+		cc := e.clients[ci]
 		env.Net.Send(src, dst, env.ModelBytes, geo.ClientServer, func() {
 			cc.HandleModel(snapshot, nil, env.Hyper.ClientLR)
 			if remaining--; remaining == 0 {
@@ -152,8 +154,9 @@ func (e *hierEdge) receive(client int, update []float64) {
 	e.pending = make(map[int][]float64)
 	w := paramvec.Vec(e.w)
 	w.Zero()
-	for ci, up := range round {
-		w.AxpyInto(e.shares[ci], up)
+	// Sorted walk: float accumulation order must not depend on map order.
+	for _, ci := range sortedKeys(round) {
+		w.AxpyInto(e.shares[ci], round[ci])
 	}
 	if e.round%env.Hyper.HierEdgeRounds == 0 {
 		e.sendToCloud()
@@ -189,9 +192,10 @@ func (c *hierCloud) receive(edge int, model paramvec.Vec) {
 	c.rounds++
 	global := env.Pool.Get(len(round[0]))
 	global.Zero()
-	for ei, m := range round {
-		global.AxpyInto(c.alg.edges[ei].weight, m)
-		env.Pool.Put(m)
+	// Sorted walk: float accumulation order must not depend on map order.
+	for _, ei := range sortedKeys(round) {
+		global.AxpyInto(c.alg.edges[ei].weight, round[ei])
+		env.Pool.Put(round[ei])
 	}
 	remaining := len(c.alg.edges)
 	for _, e := range c.alg.edges {

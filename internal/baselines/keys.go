@@ -1,0 +1,19 @@
+package baselines
+
+import "sort"
+
+// sortedKeys returns m's keys in ascending order. Map iteration order is
+// randomized by the runtime, and the round-level walks of the baselines
+// are order-sensitive twice over: network sends schedule discrete events
+// (tie order = insertion order) and float accumulation is not
+// associative, so a different walk order changes the result bits. Every
+// map walk that feeds scheduling or aggregation goes through here.
+func sortedKeys[V any](m map[int]V) []int {
+	keys := make([]int, 0, len(m))
+	//lint:sorted keys are collected and sorted before any use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}

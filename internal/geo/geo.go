@@ -235,6 +235,7 @@ func (n *Network) TotalBytes(kind Traffic) int { return n.totalBytes[kind] }
 // AllBytes reports cumulative bytes across categories.
 func (n *Network) AllBytes() int {
 	var s int
+	//lint:sorted integer sum is exactly commutative; order cannot matter
 	for _, v := range n.totalBytes {
 		s += v
 	}

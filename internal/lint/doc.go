@@ -1,0 +1,76 @@
+// Package lint is spyker-lint: a repository-specific static analyzer
+// that turns the invariants this codebase's correctness story rests on —
+// invariants the Go compiler cannot see — into compile-time checks. It is
+// built on the standard library only (go/parser + go/types, with package
+// metadata from `go list -json` and type information for imports from the
+// build cache's export data), so it adds no module dependency; the driver
+// lives in cmd/spyker-lint and CI runs it before the test steps.
+//
+// # Analyzers
+//
+// determinism — the discrete-event emulation must be bit-for-bit
+// reproducible, so in the deterministic layers (internal/tensor, nn,
+// paramvec, data, fl, simulation, geo, spyker, baselines, compress,
+// metrics, cluster) three nondeterminism sources are forbidden:
+// time.Now/time.Since, the global math/rand convenience functions
+// (constructing a seeded *rand.Rand via rand.New/rand.NewSource stays
+// legal — every stochastic component takes an explicit seed), and `range`
+// over a map, whose iteration order is randomized by the runtime. A map
+// range is waived by a //lint:sorted comment on the statement's line or
+// the line above; the waiver asserts the loop is iteration-order
+// independent — either the collected keys are sorted before any
+// order-sensitive use, or the loop body is a commutative reduction or
+// map-to-map copy.
+//
+// noalloc — functions annotated //spyker:noalloc (the paramvec fused
+// kernels, the ServerCore aggregation arithmetic, and the live runtime's
+// pooled receive path) must not allocate. The analyzer rejects, at the
+// AST level: make/new/append, composite literals that allocate (slice and
+// map literals, and &T{} pointer literals; plain value struct literals
+// are stack values and are left to the escape gate), string
+// concatenation, string<->[]byte/[]rune conversions, closures, interface
+// boxing of non-pointer-shaped values, and any call into package fmt.
+// Calls to other functions are permitted — an allocation inside a callee
+// is attributed to the callee, which keeps annotations composable (a
+// kernel may call another kernel, and a guarded observability emission
+// may call into obs). On top of the AST pass, an escape-analysis gate
+// compiles each annotated package with `go tool compile -m` (via an
+// importcfg assembled from `go list -export`) and flags every
+// "escapes to heap" / "moved to heap" diagnostic whose position falls
+// inside an annotated function — catching what the AST cannot, e.g. a
+// parameter whose address escapes. Escapes of constant string literals
+// are ignored: they are static rodata, not runtime allocations.
+//
+// sinkpassivity — obs.Sink implementations must stay passive: enabling
+// observability may never feed back into the schedule. In every package
+// except internal/obs itself (whose sinks own the obs state by
+// definition), the Emit and Enabled methods of any type implementing
+// obs.Sink may neither write package-level state outside internal/obs nor
+// call back into internal/spyker, internal/simulation, or internal/live.
+//
+// sendcheck — send/encode calls on the live wire may not drop their
+// errors silently. A call to an error-returning function or method of
+// internal/transport or internal/live whose name starts with Send, Recv,
+// Encode, Write, or Broadcast (plus gob/json Encode/Decode calls inside
+// those two packages) must consume the error; discarding it explicitly
+// with `_ =` is the documented idiom for fire-and-forget teardown paths
+// and stays legal, while a bare call statement (or go/defer) is flagged.
+//
+// # Annotation contract
+//
+// //spyker:noalloc goes on the doc comment of a function or method. It
+// promises that the function's own statements perform no heap allocation
+// on any path: the AST pass enforces the constructs above, and the escape
+// gate enforces the compiler's escape verdicts for the function body.
+// The contract is per-function, not transitive — callees are checked only
+// if they carry their own annotation — and map writes (which may grow the
+// map) remain the annotated function's responsibility. The annotation is
+// the static counterpart of the BENCH_4.json half-allocation guard: the
+// perf suite proves the aggregation hot path runs at 0 allocs/op, the
+// annotation pins which functions that property lives in.
+//
+// //lint:sorted goes on (or directly above) a `range` statement over a
+// map in a deterministic layer and documents why the iteration is safe;
+// prefer sorting the keys first and iterating the sorted slice where the
+// order reaches protocol, scheduling, or aggregation state.
+package lint

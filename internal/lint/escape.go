@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// escapeLine matches one `go tool compile -m` diagnostic.
+var escapeLine = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.+)$`)
+
+// constStringEscape matches escape reports about constant string
+// literals ("..." escapes to heap): those land in static read-only data,
+// not on the runtime heap, so they are no allocation.
+var constStringEscape = regexp.MustCompile(`^".*" escapes to heap$`)
+
+// escapeGate compiles pkg with the gc compiler's -m diagnostics and flags
+// every heap allocation or escape the compiler attributes to a line
+// inside a //spyker:noalloc function. This catches what the AST pass
+// cannot: a parameter whose address escapes, a variable moved to the heap
+// by a later use, or an allocating call the inliner folded into the
+// annotated body.
+//
+// The compiler is invoked directly (not through `go build`) so the
+// diagnostics are produced on every run instead of only on build-cache
+// misses; the import graph comes from the export data `go list -export`
+// already materialized during Load.
+func escapeGate(pkg *Package, fns []noallocFn) []Diagnostic {
+	gateErr := func(err error) []Diagnostic {
+		return []Diagnostic{{
+			Analyzer: "noalloc",
+			File:     pkg.GoFiles[0],
+			Line:     1,
+			Col:      1,
+			Message:  fmt.Sprintf("escape-analysis gate failed: %v", err),
+		}}
+	}
+
+	tmp, err := os.MkdirTemp("", "spyker-lint-escape-")
+	if err != nil {
+		return gateErr(err)
+	}
+	defer os.RemoveAll(tmp)
+
+	var cfg bytes.Buffer
+	paths := make([]string, 0, len(pkg.exports))
+	for ip := range pkg.exports {
+		paths = append(paths, ip)
+	}
+	sort.Strings(paths)
+	for _, ip := range paths {
+		if ip == pkg.ImportPath {
+			continue
+		}
+		fmt.Fprintf(&cfg, "packagefile %s=%s\n", ip, pkg.exports[ip])
+	}
+	cfgPath := filepath.Join(tmp, "importcfg")
+	if err := os.WriteFile(cfgPath, cfg.Bytes(), 0o644); err != nil {
+		return gateErr(err)
+	}
+
+	args := []string{
+		"tool", "compile",
+		"-p", pkg.ImportPath,
+		"-importcfg", cfgPath,
+		"-m",
+		"-o", filepath.Join(tmp, "pkg.a"),
+	}
+	args = append(args, pkg.GoFiles...)
+	cmd := exec.Command("go", args...)
+	// The compiler prints -m diagnostics on stdout and errors on stderr;
+	// the gate wants both in one stream.
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		return gateErr(fmt.Errorf("go tool compile %s: %v\n%s", pkg.ImportPath, err, firstLines(out.String(), 10)))
+	}
+
+	var diags []Diagnostic
+	for _, line := range strings.Split(out.String(), "\n") {
+		m := escapeLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		if constStringEscape.MatchString(msg) {
+			continue
+		}
+		lineNo, _ := strconv.Atoi(m[2])
+		colNo, _ := strconv.Atoi(m[3])
+		for _, fn := range fns {
+			if m[1] == fn.file && lineNo >= fn.start && lineNo <= fn.end {
+				diags = append(diags, Diagnostic{
+					Analyzer: "noalloc",
+					File:     m[1],
+					Line:     lineNo,
+					Col:      colNo,
+					Message:  fmt.Sprintf("escape analysis: %s in //spyker:noalloc function %s", msg, fn.name),
+				})
+				break
+			}
+		}
+	}
+	return diags
+}
+
+// firstLines truncates s to its first n lines for error messages.
+func firstLines(s string, n int) string {
+	lines := strings.Split(s, "\n")
+	if len(lines) > n {
+		lines = append(lines[:n], "...")
+	}
+	return strings.Join(lines, "\n")
+}

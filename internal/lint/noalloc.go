@@ -1,0 +1,289 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// noallocDirective marks a function whose own statements must not
+// allocate (see the package documentation for the full contract).
+const noallocDirective = "//spyker:noalloc"
+
+// noallocFn is one annotated function with its body's source extent, the
+// unit both the AST pass and the escape gate report against.
+type noallocFn struct {
+	name       string
+	file       string
+	start, end int // body line range, inclusive
+	decl       *ast.FuncDecl
+}
+
+// runNoalloc applies the AST allocation checks to every annotated
+// function and, when enabled, the compiler escape gate to every package
+// containing one.
+func runNoalloc(cfg *Config, pkg *Package) []Diagnostic {
+	fns := noallocFuncs(pkg)
+	if len(fns) == 0 {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, fn := range fns {
+		diags = append(diags, checkNoallocBody(pkg, fn)...)
+	}
+	if cfg.EscapeGate {
+		diags = append(diags, escapeGate(pkg, fns)...)
+	}
+	return diags
+}
+
+// noallocFuncs collects the //spyker:noalloc functions of a package.
+func noallocFuncs(pkg *Package) []noallocFn {
+	var fns []noallocFn
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil || fd.Body == nil {
+				continue
+			}
+			annotated := false
+			for _, c := range fd.Doc.List {
+				if c.Text == noallocDirective || strings.HasPrefix(c.Text, noallocDirective+" ") {
+					annotated = true
+					break
+				}
+			}
+			if !annotated {
+				continue
+			}
+			start := pkg.Fset.Position(fd.Body.Pos())
+			end := pkg.Fset.Position(fd.Body.End())
+			fns = append(fns, noallocFn{
+				name:  fd.Name.Name,
+				file:  start.Filename,
+				start: start.Line,
+				end:   end.Line,
+				decl:  fd,
+			})
+		}
+	}
+	return fns
+}
+
+// checkNoallocBody walks one annotated function body and rejects the
+// allocation constructs visible in the syntax tree. Calls to other
+// functions are allowed — their allocations are attributed to the callee
+// — except calls into fmt, which exist to build strings.
+func checkNoallocBody(pkg *Package, fn noallocFn) []Diagnostic {
+	var diags []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		diags = append(diags, pkg.diag("noalloc", pos, format, args...))
+	}
+	sig, _ := pkg.Info.Defs[fn.decl.Name].Type().(*types.Signature)
+
+	ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			report(n.Pos(), "closure literal allocates in //spyker:noalloc function %s", fn.name)
+			return false // the closure's own body is not the annotated function
+
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					report(n.Pos(), "address of composite literal allocates in //spyker:noalloc function %s", fn.name)
+				}
+			}
+
+		case *ast.CompositeLit:
+			switch pkg.Info.TypeOf(n).Underlying().(type) {
+			case *types.Slice:
+				report(n.Pos(), "slice literal allocates in //spyker:noalloc function %s", fn.name)
+			case *types.Map:
+				report(n.Pos(), "map literal allocates in //spyker:noalloc function %s", fn.name)
+			}
+
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(pkg.Info.TypeOf(n)) {
+				report(n.Pos(), "string concatenation allocates in //spyker:noalloc function %s", fn.name)
+			}
+
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(pkg.Info.TypeOf(n.Lhs[0])) {
+				report(n.Pos(), "string concatenation allocates in //spyker:noalloc function %s", fn.name)
+			}
+			if n.Tok == token.ASSIGN && len(n.Lhs) == len(n.Rhs) {
+				for i, rhs := range n.Rhs {
+					if boxes(pkg, pkg.Info.TypeOf(n.Lhs[i]), rhs) {
+						report(rhs.Pos(), "assignment boxes %s into an interface in //spyker:noalloc function %s",
+							typeName(pkg, rhs), fn.name)
+					}
+				}
+			}
+
+		case *ast.ValueSpec:
+			if n.Type != nil {
+				dst := pkg.Info.TypeOf(n.Type)
+				for _, v := range n.Values {
+					if boxes(pkg, dst, v) {
+						report(v.Pos(), "declaration boxes %s into an interface in //spyker:noalloc function %s",
+							typeName(pkg, v), fn.name)
+					}
+				}
+			}
+
+		case *ast.ReturnStmt:
+			if sig != nil && len(n.Results) == sig.Results().Len() {
+				for i, res := range n.Results {
+					if boxes(pkg, sig.Results().At(i).Type(), res) {
+						report(res.Pos(), "return boxes %s into an interface in //spyker:noalloc function %s",
+							typeName(pkg, res), fn.name)
+					}
+				}
+			}
+
+		case *ast.CallExpr:
+			diags = append(diags, checkNoallocCall(pkg, fn, n)...)
+		}
+		return true
+	})
+	return diags
+}
+
+// checkNoallocCall handles the call-shaped allocation sources: builtins,
+// conversions, fmt, and interface boxing at argument positions.
+func checkNoallocCall(pkg *Package, fn noallocFn, call *ast.CallExpr) []Diagnostic {
+	var diags []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		diags = append(diags, pkg.diag("noalloc", pos, format, args...))
+	}
+
+	if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		// Conversion T(x).
+		dst := tv.Type
+		if len(call.Args) == 1 {
+			if boxes(pkg, dst, call.Args[0]) {
+				report(call.Pos(), "conversion boxes %s into an interface in //spyker:noalloc function %s",
+					typeName(pkg, call.Args[0]), fn.name)
+			}
+			src := pkg.Info.TypeOf(call.Args[0])
+			if stringBytesConversion(dst, src) {
+				report(call.Pos(), "string conversion allocates in //spyker:noalloc function %s", fn.name)
+			}
+		}
+		return diags
+	}
+
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new", "append":
+				report(call.Pos(), "call to %s allocates in //spyker:noalloc function %s", b.Name(), fn.name)
+			}
+			return diags
+		}
+	}
+
+	if f := pkg.calleeFunc(call); f != nil && pkgPathOf(f) == "fmt" {
+		report(call.Pos(), "call to fmt.%s allocates in //spyker:noalloc function %s", f.Name(), fn.name)
+		return diags
+	}
+
+	sig, ok := pkg.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok || call.Ellipsis != token.NoPos {
+		return diags
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var dst types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			dst = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			dst = params.At(i).Type()
+		}
+		if boxes(pkg, dst, arg) {
+			report(arg.Pos(), "argument boxes %s into an interface in //spyker:noalloc function %s",
+				typeName(pkg, arg), fn.name)
+		}
+	}
+	return diags
+}
+
+// boxes reports whether assigning src to an interface-typed destination
+// heap-allocates: the destination is an interface, the source a concrete
+// value that is neither constant (static data), pointer-shaped (stored
+// directly in the interface word), nor empty (the runtime's zero base).
+func boxes(pkg *Package, dst types.Type, src ast.Expr) bool {
+	if dst == nil {
+		return false
+	}
+	if _, ok := dst.Underlying().(*types.Interface); !ok {
+		return false
+	}
+	tv, ok := pkg.Info.Types[src]
+	if !ok || tv.Value != nil || tv.Type == nil {
+		return false
+	}
+	switch u := tv.Type.Underlying().(type) {
+	case *types.Interface:
+		return false // interface-to-interface copies the word pair
+	case *types.Basic:
+		if u.Kind() == types.UntypedNil {
+			return false
+		}
+	case *types.Struct:
+		if u.NumFields() == 0 {
+			return false // zero-size values share the runtime's zero base
+		}
+	}
+	return !pointerShaped(tv.Type)
+}
+
+// pointerShaped reports whether values of t are represented as a single
+// pointer word, which an interface stores without allocating.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		_ = u
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// stringBytesConversion reports whether a conversion between string and
+// []byte/[]rune copies its operand.
+func stringBytesConversion(dst, src types.Type) bool {
+	return (isString(dst) && isByteOrRuneSlice(src)) || (isByteOrRuneSlice(dst) && isString(src))
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}
+
+// typeName renders the static type of an expression for messages.
+func typeName(pkg *Package, e ast.Expr) string {
+	t := pkg.Info.TypeOf(e)
+	if t == nil {
+		return "value"
+	}
+	return types.TypeString(t, types.RelativeTo(pkg.Types))
+}

@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// runSinkPassivity enforces the passivity contract of obs.Sink: an
+// implementation outside internal/obs only records — its Emit/Enabled
+// methods may not mutate package-level state (anywhere but obs) and may
+// not call back into the runtimes (internal/spyker, internal/simulation,
+// internal/live), because either would let "enable tracing" change a
+// schedule the determinism regression tests promise it cannot change.
+func runSinkPassivity(cfg *Config, pkg *Package) []Diagnostic {
+	if hasPkgSuffix(pkg.ImportPath, []string{"internal/obs"}) {
+		return nil // obs's own sinks own the obs state by definition
+	}
+	sinkIface := findSinkInterface(pkg)
+	if sinkIface == nil {
+		return nil // cannot implement obs.Sink without importing obs
+	}
+
+	var diags []Diagnostic
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			if fd.Name.Name != "Emit" && fd.Name.Name != "Enabled" {
+				continue
+			}
+			recv := receiverNamed(pkg, fd)
+			if recv == nil || !implementsSink(recv, sinkIface) {
+				continue
+			}
+			diags = append(diags, checkSinkMethod(cfg, pkg, recv, fd)...)
+		}
+	}
+	return diags
+}
+
+// findSinkInterface resolves obs.Sink through the package's imports.
+func findSinkInterface(pkg *Package) *types.Interface {
+	for _, imp := range pkg.Types.Imports() {
+		if !hasPkgSuffix(imp.Path(), []string{"internal/obs"}) {
+			continue
+		}
+		obj := imp.Scope().Lookup("Sink")
+		if obj == nil {
+			return nil
+		}
+		iface, _ := obj.Type().Underlying().(*types.Interface)
+		return iface
+	}
+	return nil
+}
+
+// receiverNamed returns the named type a method is declared on.
+func receiverNamed(pkg *Package, fd *ast.FuncDecl) *types.Named {
+	if len(fd.Recv.List) != 1 {
+		return nil
+	}
+	t := pkg.Info.TypeOf(fd.Recv.List[0].Type)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// implementsSink reports whether T or *T satisfies obs.Sink.
+func implementsSink(named *types.Named, iface *types.Interface) bool {
+	return types.Implements(named, iface) || types.Implements(types.NewPointer(named), iface)
+}
+
+// checkSinkMethod walks one sink method body.
+func checkSinkMethod(cfg *Config, pkg *Package, recv *types.Named, fd *ast.FuncDecl) []Diagnostic {
+	var diags []Diagnostic
+	sinkName := recv.Obj().Name()
+
+	flagWrite := func(e ast.Expr) {
+		v := rootVar(pkg, e)
+		if v == nil || v.Pkg() == nil {
+			return
+		}
+		if v.Parent() != v.Pkg().Scope() {
+			return // local or field state: the sink's own business
+		}
+		if hasPkgSuffix(v.Pkg().Path(), []string{"internal/obs"}) {
+			return
+		}
+		diags = append(diags, pkg.diag("sinkpassivity", e.Pos(),
+			"sink %s.%s writes package-level state %s.%s outside internal/obs",
+			sinkName, fd.Name.Name, v.Pkg().Name(), v.Name()))
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				flagWrite(lhs)
+			}
+		case *ast.IncDecStmt:
+			flagWrite(n.X)
+		case *ast.CallExpr:
+			if f := pkg.calleeFunc(n); f != nil && hasPkgSuffix(pkgPathOf(f), cfg.SinkCallbackPkgs) {
+				diags = append(diags, pkg.diag("sinkpassivity", n.Pos(),
+					"sink %s.%s calls back into %s (%s): sinks must stay passive",
+					sinkName, fd.Name.Name, f.Pkg().Path(), f.Name()))
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// rootVar walks selectors, indexing, and dereferences down to the
+// variable an lvalue expression is rooted in (nil when the root is not a
+// plain variable, e.g. a call result).
+func rootVar(pkg *Package, e ast.Expr) *types.Var {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			v, _ := pkg.Info.Uses[x].(*types.Var)
+			return v
+		case *ast.SelectorExpr:
+			if _, isPkg := pkg.Info.Uses[rootIdent(x.X)].(*types.PkgName); isPkg {
+				v, _ := pkg.Info.Uses[x.Sel].(*types.Var)
+				return v
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// rootIdent unwraps an expression to its leading identifier, nil if the
+// expression does not start with one.
+func rootIdent(e ast.Expr) *ast.Ident {
+	id, _ := ast.Unparen(e).(*ast.Ident)
+	return id
+}

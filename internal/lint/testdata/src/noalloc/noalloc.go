@@ -1,0 +1,52 @@
+// Package noalloc seeds every AST-level allocation construct the noalloc
+// analyzer rejects inside //spyker:noalloc functions. Its golden test
+// runs with the escape gate off so the expectations below are exactly the
+// syntax-level findings; the compiler-backed gate is proven separately by
+// the noallocescape fixture.
+package noalloc
+
+import "fmt"
+
+type pair struct{ a, b int }
+
+func takeAny(v interface{}) { _ = v }
+
+// Hot trips every syntactic allocation source in one body.
+//
+//spyker:noalloc
+func Hot(n int, s string) string {
+	buf := make([]int, n)        // want `call to make allocates`
+	buf = append(buf, n)         // want `call to append allocates`
+	p := new(int)                // want `call to new allocates`
+	lit := []int{1, 2}           // want `slice literal allocates`
+	m := map[int]int{}           // want `map literal allocates`
+	q := &pair{a: 1}             // want `address of composite literal allocates`
+	msg := s + "!"               // want `string concatenation allocates`
+	msg += s                     // want `string concatenation allocates`
+	f := func() int { return n } // want `closure literal allocates`
+	var boxed interface{} = n    // want `declaration boxes int`
+	boxed = s                    // want `assignment boxes string`
+	takeAny(n)                   // want `argument boxes int`
+	_ = fmt.Sprintf("%d", n)     // want `call to fmt\.Sprintf allocates`
+	b := []byte(s)               // want `string conversion allocates`
+	_ = interface{}(n)           // want `conversion boxes int`
+	_, _, _, _, _, _ = buf, p, lit, m, q, f
+	_, _ = boxed, b
+	return msg
+}
+
+// Axpy is the shape the annotation exists for: a pure in-place kernel.
+// Value struct literals, calls, and arithmetic all pass.
+//
+//spyker:noalloc
+func Axpy(a float64, x, y []float64) pair {
+	for i := range y {
+		y[i] += a * x[i]
+	}
+	return pair{a: len(x), b: len(y)}
+}
+
+// Cold is unannotated: the same constructs draw no findings.
+func Cold(n int) []int {
+	return append(make([]int, 0, n), n)
+}

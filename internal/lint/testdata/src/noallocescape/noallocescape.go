@@ -1,0 +1,30 @@
+// Package noallocescape proves the escape-analysis half of the noalloc
+// analyzer: both functions below are clean at the AST level — no make, no
+// literal, no closure — yet the compiler's escape analysis moves their
+// locals to the heap, an allocation only `go tool compile -m` can see.
+package noallocescape
+
+var sink *int
+
+// BoxParam returns the address of its parameter, forcing x onto the heap.
+//
+//spyker:noalloc
+func BoxParam(x int) *int { // want `escape analysis: moved to heap: x`
+	return &x
+}
+
+// LeakLocal publishes a local through a package-level pointer.
+//
+//spyker:noalloc
+func LeakLocal(n int) {
+	v := n * 2 // want `escape analysis: moved to heap: v`
+	sink = &v
+}
+
+// Keep is escape-clean: the pointer never leaves the frame.
+//
+//spyker:noalloc
+func Keep(x int) int {
+	p := &x
+	return *p * 2
+}

@@ -1,0 +1,28 @@
+// Package sendcheck seeds dropped-error violations on the wire API:
+// transport sends and a live checkpoint write whose error results are
+// silently discarded, next to the two sanctioned shapes (handling and
+// explicit blank assignment).
+package sendcheck
+
+import (
+	"io"
+
+	"github.com/spyker-fl/spyker/internal/live"
+	"github.com/spyker-fl/spyker/internal/transport"
+)
+
+// Fire drops transport send errors three ways.
+func Fire(c *transport.Conn, m *transport.Msg) {
+	c.Send(m)       // want `Send error of transport\.Send is dropped by a bare call statement`
+	go c.Send(m)    // want `dropped by go`
+	defer c.Send(m) // want `dropped by defer`
+	_ = c.Send(m)   // explicit discard: sanctioned
+	if err := c.Send(m); err != nil {
+		_ = err
+	}
+}
+
+// Checkpoint drops a live write error.
+func Checkpoint(s *live.Server, w io.Writer) {
+	s.WriteCheckpoint(w) // want `WriteCheckpoint error of live\.WriteCheckpoint is dropped`
+}

@@ -409,6 +409,12 @@ func (s *Server) registerClient(id int, conn *transport.Conn) {
 	ob.enqueueRelease(m, func() { s.pool.Put(buf) })
 }
 
+// dispatch routes one received frame into the protocol core — the tail
+// of the pooled receive path: readLoop's reusable Msg arrives here and
+// the core handlers consume its Params synchronously under s.mu, so the
+// steady-state server processes a frame without allocating.
+//
+//spyker:noalloc
 func (s *Server) dispatch(m *transport.Msg) {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -33,6 +33,8 @@ func (v Vec) Zero() {
 }
 
 // AxpyInto computes v += alpha*x, the classic saxpy accumulation.
+//
+//spyker:noalloc
 func (v Vec) AxpyInto(alpha float64, x []float64) {
 	mustSameLen(len(v), len(x))
 	for i := range v {
@@ -53,6 +55,8 @@ func (v Vec) ScaleAdd(alpha float64, beta float64, x []float64) {
 // server merge (Alg. 2) of the Spyker protocol, and the convex-combination
 // step of every baseline aggregation rule. w=0 leaves v unchanged, w=1
 // replaces v with x.
+//
+//spyker:noalloc
 func (v Vec) WeightedMergeInto(w float64, x []float64) {
 	mustSameLen(len(v), len(x))
 	for i := range v {
@@ -62,6 +66,8 @@ func (v Vec) WeightedMergeInto(w float64, x []float64) {
 
 // AddScaledDiff computes v += alpha*(x - y) without materializing the
 // difference — the buffered-delta accumulation of FedBuff-style rules.
+//
+//spyker:noalloc
 func (v Vec) AddScaledDiff(alpha float64, x, y []float64) {
 	mustSameLen(len(v), len(x))
 	mustSameLen(len(v), len(y))
@@ -71,6 +77,8 @@ func (v Vec) AddScaledDiff(alpha float64, x, y []float64) {
 }
 
 // DiffInto computes v = x - y.
+//
+//spyker:noalloc
 func (v Vec) DiffInto(x, y []float64) {
 	mustSameLen(len(v), len(x))
 	mustSameLen(len(v), len(y))
@@ -92,6 +100,8 @@ func (v Vec) L2Norm() float64 {
 // returns the pre-clip norm. max <= 0 disables clipping. The scale is
 // applied only when the norm actually exceeds max, so vectors inside the
 // ball are untouched bit-for-bit.
+//
+//spyker:noalloc
 func (v Vec) ClipNorm(max float64) (norm float64) {
 	norm = v.L2Norm()
 	if max > 0 && norm > max {

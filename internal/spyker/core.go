@@ -320,20 +320,33 @@ func (s *ServerCore) HandleClientUpdateTraced(k int, params []float64, clientAge
 	s.checkSynchronization()
 }
 
+// ensureScratch grows the clip-path scratch buffer to hold at least n
+// elements. Kept out of applyClientDelta — and pinned out-of-line,
+// because the inliner would otherwise re-attribute the make to the call
+// site — so the one legitimate allocation of the clip path (first use,
+// or a model-size change) stays outside the //spyker:noalloc region.
+//
+//go:noinline
+func (s *ServerCore) ensureScratch(n int) {
+	if cap(s.deltaScratch) < n {
+		s.deltaScratch = paramvec.New(n)
+	}
+}
+
 // applyClientDelta merges a client update at the given effective weight:
 // W += weight * (params - W). With RobustClipFactor enabled, the delta is
 // first rescaled so its norm stays within the factor times the running
 // average delta norm, bounding what any single (possibly malicious)
 // update can do to the model.
+//
+//spyker:noalloc
 func (s *ServerCore) applyClientDelta(params []float64, weight float64) {
 	w := paramvec.Vec(s.w)
 	if s.cfg.RobustClipFactor <= 0 {
 		w.WeightedMergeInto(weight, params)
 		return
 	}
-	if cap(s.deltaScratch) < len(s.w) {
-		s.deltaScratch = paramvec.New(len(s.w))
-	}
+	s.ensureScratch(len(s.w))
 	delta := s.deltaScratch[:len(s.w)]
 	delta.DiffInto(params, s.w)
 	norm := delta.L2Norm()
@@ -475,7 +488,11 @@ func (s *ServerCore) forwardToken() {
 // broadcast carried one) max-merges into the local frontier, and the
 // emitted event carries the post-merge frontier plus the round's UID so
 // the lineage analyzer can attribute every newly covered update to this
-// hop.
+// hop. (The guarded emission may allocate inside its obs callees when a
+// sink is attached; the noalloc contract covers this function's own
+// statements — see internal/lint.)
+//
+//spyker:noalloc
 func (s *ServerCore) serverAgg(from int, params []float64, remoteAge float64, bid int, front []int64) {
 	ageDrift := remoteAge - s.age
 	w := ServerAggWeight(s.cfg.Phi, s.age, remoteAge)

@@ -72,6 +72,7 @@ func (s *ServerCore) SnapshotInto(st *State) {
 		st.Token = nil
 	}
 	st.DidBroadcast = st.DidBroadcast[:0]
+	//lint:sorted keys are collected and sorted just below
 	for bid := range s.didBroadcast {
 		st.DidBroadcast = append(st.DidBroadcast, bid)
 	}
@@ -80,6 +81,7 @@ func (s *ServerCore) SnapshotInto(st *State) {
 		st.Cnt = make(map[int]int, len(s.cnt))
 	}
 	clear(st.Cnt)
+	//lint:sorted map-to-map copy is order-independent
 	for k, v := range s.cnt {
 		st.Cnt[k] = v
 	}
@@ -87,6 +89,7 @@ func (s *ServerCore) SnapshotInto(st *State) {
 		st.Updates = make(map[int]int, len(s.updates))
 	}
 	clear(st.Updates)
+	//lint:sorted map-to-map copy is order-independent
 	for k, v := range s.updates {
 		st.Updates[k] = v
 	}
@@ -119,10 +122,12 @@ func RestoreServerCore(st State, out Outbound) (*ServerCore, error) {
 	for _, bid := range st.DidBroadcast {
 		s.didBroadcast[bid] = true
 	}
+	//lint:sorted map-to-map copy is order-independent
 	for k, v := range st.Cnt {
 		s.cnt[k] = v
 	}
 	s.lastAgeBroadcast = st.LastAgeBroadcast
+	//lint:sorted map-to-map copy is order-independent
 	for k, v := range st.Updates {
 		s.updates[k] = v
 	}

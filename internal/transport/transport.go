@@ -169,7 +169,11 @@ func (c *Conn) Recv() (*Msg, error) {
 // RecvInto decodes the next message into m, reusing m's Params backing
 // array when its capacity suffices — the allocation-free receive path for
 // a long-lived reader loop. m is Reset first, so any Msg (including one
-// holding a previous frame) is a valid target.
+// holding a previous frame) is a valid target. (Steady-state gob decodes
+// into a capacious Msg allocate nothing; growth on the first frames is
+// gob's, inside Decode.)
+//
+//spyker:noalloc
 func (c *Conn) RecvInto(m *Msg) error {
 	m.Reset()
 	if err := c.dec.Decode(m); err != nil {
