@@ -91,6 +91,9 @@ var jobs = []job{
 	{"byzantine", "byzantine-client resilience", func(p params) (renderer, error) {
 		return experiments.RunByzantineStudy(p.scale, p.seed)
 	}},
+	{"failover", "token-holder crash-rate sweep with recovery", func(p params) (renderer, error) {
+		return experiments.RunFailoverStudy(p.scale, p.seed)
+	}},
 	{"straggler", "straggler-client sensitivity", func(p params) (renderer, error) {
 		return experiments.RunStragglerStudy(p.scale, p.seed)
 	}},

@@ -1,14 +1,32 @@
-// Command spyker-live runs Spyker over real TCP on this machine: n server
-// processes (goroutines) on ephemeral localhost ports and m clients
-// training a real CNN, exchanging models with the exact protocol messages
-// of the paper (client updates, model replies, server broadcasts, age
-// announcements, token).
+// Command spyker-live runs Spyker over real TCP on this machine.
+//
+// The default role ("cluster") hosts n servers on ephemeral localhost
+// ports and m clients training a real CNN in one process, exchanging
+// models with the exact protocol messages of the paper (client updates,
+// model replies, server broadcasts, age announcements, token).
+//
+// The "server" and "clients" roles split the same deployment across real
+// OS processes, which is what makes process-level failure injection
+// possible: kill -9 a server, then relaunch it with -resume to restore
+// from its checkpoint file while token-loss recovery (-token-timeout,
+// -sync-retry) keeps the surviving ring synchronizing.
 //
 // Example:
 //
 //	spyker-live -servers 4 -clients 16 -duration 5s
 //	spyker-live -servers 2 -clients 8 -stats-every 1s -trace run.jsonl
 //	spyker-live -debug-addr 127.0.0.1:6060   # expvar + Prometheus text + pprof
+//
+//	# one real process per server, plus one process for all clients:
+//	spyker-live -role server -id 0 -addr 127.0.0.1:7070 \
+//	    -peers 127.0.0.1:7070,127.0.0.1:7071 -token \
+//	    -clients 8 -checkpoint s0.gob -checkpoint-every 300ms \
+//	    -token-timeout 2 -sync-retry 1
+//	spyker-live -role clients -peers 127.0.0.1:7070,127.0.0.1:7071 -clients 8
+//	# after killing server 0:
+//	spyker-live -role server -id 0 -addr 127.0.0.1:7070 \
+//	    -peers 127.0.0.1:7070,127.0.0.1:7071 -clients 8 \
+//	    -checkpoint s0.gob -resume -token-timeout 2 -sync-retry 1
 package main
 
 import (
@@ -19,6 +37,8 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"strings"
+	"sync"
 	"time"
 
 	"github.com/spyker-fl/spyker/internal/data"
@@ -29,26 +49,70 @@ import (
 )
 
 func main() {
-	servers := flag.Int("servers", 2, "number of TCP servers")
-	clients := flag.Int("clients", 8, "number of clients")
-	duration := flag.Duration("duration", 3*time.Second, "wall-clock training duration")
+	role := flag.String("role", "cluster", "cluster | server | clients (see package comment)")
+	servers := flag.Int("servers", 2, "number of TCP servers (cluster role)")
+	clients := flag.Int("clients", 8, "number of clients in the whole deployment")
+	duration := flag.Duration("duration", 3*time.Second, "wall-clock training duration (0 in server/clients role = run until killed)")
 	seed := flag.Int64("seed", 1, "seed")
 	peerLatency := flag.Duration("peer-latency", 0, "injected one-way latency on server-server links")
 	clientLatency := flag.Duration("client-latency", 0, "injected one-way latency on client links")
 	statsEvery := flag.Duration("stats-every", 0, "log a one-line per-server stats snapshot at this period (0 = off)")
 	tracePath := flag.String("trace", "", "write the protocol event trace to this JSONL file (see spyker-trace)")
 	debugAddr := flag.String("debug-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof) on this address while running")
+
+	// Multi-process roles.
+	id := flag.Int("id", 0, "this server's ID (server role)")
+	addr := flag.String("addr", "", "listen address (server role); must match the -peers entry for -id")
+	peerList := flag.String("peers", "", "comma-separated server addresses indexed by server ID (server/clients roles)")
+	token := flag.Bool("token", false, "this server holds the initial token (server role)")
+	ckptPath := flag.String("checkpoint", "", "checkpoint file path (server role)")
+	ckptEvery := flag.Duration("checkpoint-every", 500*time.Millisecond, "periodic checkpoint interval (server role)")
+	resume := flag.Bool("resume", false, "restore protocol state from -checkpoint instead of starting fresh (server role)")
+	tokenTimeout := flag.Float64("token-timeout", 0, "seconds of ring silence before regenerating the token (0 = recovery off)")
+	syncRetry := flag.Float64("sync-retry", 0, "seconds before re-broadcasting a stuck synchronization round (0 = off)")
+	reconnectEvery := flag.Duration("reconnect-every", 500*time.Millisecond, "peer redial period (server role)")
 	flag.Parse()
 
-	if err := run(*servers, *clients, *duration, *seed, *peerLatency, *clientLatency,
-		*statsEvery, *tracePath, *debugAddr); err != nil {
+	var err error
+	switch *role {
+	case "cluster":
+		err = run(*servers, *clients, *duration, *seed, *peerLatency, *clientLatency,
+			*statsEvery, *tracePath, *debugAddr, *tokenTimeout, *syncRetry)
+	case "server":
+		err = runServer(serverOpts{
+			id: *id, addr: *addr, peers: splitPeers(*peerList), clients: *clients,
+			seed: *seed, token: *token, ckptPath: *ckptPath, ckptEvery: *ckptEvery,
+			resume: *resume, tokenTimeout: *tokenTimeout, syncRetry: *syncRetry,
+			reconnectEvery: *reconnectEvery, statsEvery: *statsEvery, duration: *duration,
+		})
+	case "clients":
+		err = runClients(splitPeers(*peerList), *clients, *seed, *duration)
+	default:
+		err = fmt.Errorf("unknown -role %q (cluster | server | clients)", *role)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(servers, clients int, duration time.Duration, seed int64, peerLat, clientLat time.Duration,
-	statsEvery time.Duration, tracePath, debugAddr string) error {
+func splitPeers(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// deployment derives the shared, deterministic pieces every process of a
+// multi-process run must agree on: the dataset, the model factory, the
+// client shards, and the hyper parameters. All of it is a pure function
+// of (clients, servers, seed), so separate OS processes started with the
+// same flags build bit-identical initial models.
+func deployment(clients, servers int, seed int64, tokenTimeout, syncRetry float64) (fl.ModelFactory, [][]int, *data.Images, fl.Hyper) {
 	ds := data.GenerateImages(data.MNISTLike(10*clients, 300, seed))
 	factory := func(s int64) fl.Model {
 		rng := rand.New(rand.NewSource(s))
@@ -62,10 +126,175 @@ func run(servers, clients int, duration time.Duration, seed int64, peerLat, clie
 		)
 		return fl.NewClassifier(net, ds, ds.TestSet(), 10, s)
 	}
-
 	hyper := fl.DefaultHyper(clients, servers)
 	hyper.HInter = 5
 	hyper.HIntra = 100
+	hyper.TokenTimeout = tokenTimeout
+	hyper.SyncRetry = syncRetry
+	return factory, data.PartitionByLabel(ds, clients, 2, seed), ds, hyper
+}
+
+type serverOpts struct {
+	id             int
+	addr           string
+	peers          []string
+	clients        int
+	seed           int64
+	token          bool
+	ckptPath       string
+	ckptEvery      time.Duration
+	resume         bool
+	tokenTimeout   float64
+	syncRetry      float64
+	reconnectEvery time.Duration
+	statsEvery     time.Duration
+	duration       time.Duration
+}
+
+// runServer hosts exactly one live server in this process — the unit a
+// failure-injection harness kills and restarts.
+func runServer(o serverOpts) error {
+	n := len(o.peers)
+	if n < 1 || o.id < 0 || o.id >= n {
+		return fmt.Errorf("server role needs -peers with the -id'th entry (got %d peers, id %d)", n, o.id)
+	}
+	if o.addr == "" {
+		o.addr = o.peers[o.id]
+	}
+	factory, _, _, hyper := deployment(o.clients, n, o.seed, o.tokenTimeout, o.syncRetry)
+
+	var srv *live.Server
+	if o.resume {
+		if o.ckptPath == "" {
+			return fmt.Errorf("-resume needs -checkpoint")
+		}
+		f, err := os.Open(o.ckptPath)
+		if err != nil {
+			return err
+		}
+		st, err := live.ReadCheckpoint(f)
+		_ = f.Close()
+		if err != nil {
+			return err
+		}
+		srv, err = live.NewServerFromCheckpoint(o.addr, st)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("server %d resumed from %s (age %.1f, syncs %d)\n",
+			srv.ID, o.ckptPath, st.Age, st.SyncsTriggered)
+	} else {
+		perServer := o.clients / n
+		clientsHere := perServer
+		if o.id == n-1 {
+			clientsHere = o.clients - perServer*(n-1)
+		}
+		cfg := live.ServerConfig(o.id, n, clientsHere, hyper)
+		var err error
+		srv, err = live.NewServer(o.id, o.addr, cfg, factory(o.seed).Params(), o.token)
+		if err != nil {
+			return err
+		}
+	}
+	defer srv.Close()
+
+	if o.tokenTimeout > 0 || o.syncRetry > 0 {
+		shortest := o.tokenTimeout
+		if o.syncRetry > 0 && (shortest == 0 || o.syncRetry < shortest) {
+			shortest = o.syncRetry
+		}
+		srv.StartTokenTicker(time.Duration(shortest / 4 * float64(time.Second)))
+	}
+	srv.StartPeerReconnect(o.reconnectEvery, func(peer int) string { return o.peers[peer] })
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	if o.ckptPath != "" && o.ckptEvery > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tick := time.NewTicker(o.ckptEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					if err := srv.CheckpointToFile(o.ckptPath); err != nil {
+						fmt.Fprintf(os.Stderr, "checkpoint: %v\n", err)
+					}
+				}
+			}
+		}()
+	}
+	fmt.Printf("server %d listening on %s\n", srv.ID, srv.Addr())
+
+	if o.duration > 0 {
+		if o.statsEvery > 0 {
+			for elapsed := time.Duration(0); elapsed < o.duration; elapsed += o.statsEvery {
+				time.Sleep(o.statsEvery)
+				fmt.Fprintln(os.Stderr, srv.StatsLine())
+			}
+		} else {
+			time.Sleep(o.duration)
+		}
+	} else {
+		select {} // run until killed — the failure-injection mode
+	}
+	close(stop)
+	wg.Wait()
+	fmt.Println(srv.StatsLine())
+	return nil
+}
+
+// runClients runs the whole deployment's client population in this
+// process, each on a redialing loop so server restarts are survived.
+func runClients(peers []string, clients int, seed int64, duration time.Duration) error {
+	n := len(peers)
+	if n < 1 || clients < n {
+		return fmt.Errorf("clients role needs -peers and -clients >= len(peers)")
+	}
+	factory, shards, _, hyper := deployment(clients, n, seed, 0, 0)
+	perServer := clients / n
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	cs := make([]*live.Client, clients)
+	for ci := 0; ci < clients; ci++ {
+		home := ci / perServer
+		if home >= n {
+			home = n - 1
+		}
+		c := &live.Client{
+			ID:     ci,
+			Model:  factory(seed + int64(1000+ci)),
+			Shard:  shards[ci],
+			Epochs: hyper.LocalEpochs,
+		}
+		cs[ci] = c
+		addr := peers[home]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.RunLoop(func() string { return addr }, 200*time.Millisecond, stop)
+		}()
+	}
+	if duration > 0 {
+		time.Sleep(duration)
+		close(stop)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range cs {
+		total += c.Updates()
+	}
+	fmt.Printf("clients done: %d local trainings across %d clients\n", total, clients)
+	return nil
+}
+
+func run(servers, clients int, duration time.Duration, seed int64, peerLat, clientLat time.Duration,
+	statsEvery time.Duration, tracePath, debugAddr string, tokenTimeout, syncRetry float64) error {
+	factory, shards, _, hyper := deployment(clients, servers, seed, tokenTimeout, syncRetry)
 
 	// Observability: a metrics registry always runs (it backs /debug/vars);
 	// the event tracer only when a trace file is requested.
@@ -102,7 +331,7 @@ func run(servers, clients int, duration time.Duration, seed int64, peerLat, clie
 		NumClients:    clients,
 		Hyper:         hyper,
 		NewModel:      factory,
-		Shards:        data.PartitionByLabel(ds, clients, 2, seed),
+		Shards:        shards,
 		Seed:          seed,
 		PeerLatency:   peerLat,
 		ClientLatency: clientLat,

@@ -92,6 +92,18 @@ func RunByzantineStudy(scale float64, seed int64) (*ByzantineStudy, error) {
 	if err := run("noise, norm clip x1.2", fl.ByzantineNoise, 1.2); err != nil {
 		return nil, err
 	}
+	if err := run("scaled noise, undefended", fl.ByzantineScaledNoise, 0); err != nil {
+		return nil, err
+	}
+	if err := run("scaled noise, norm clip x1.2", fl.ByzantineScaledNoise, 1.2); err != nil {
+		return nil, err
+	}
+	if err := run("collusion, undefended", fl.ByzantineCollude, 0); err != nil {
+		return nil, err
+	}
+	if err := run("collusion, norm clip x1.2", fl.ByzantineCollude, 1.2); err != nil {
+		return nil, err
+	}
 	return study, nil
 }
 

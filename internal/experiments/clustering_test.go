@@ -188,7 +188,7 @@ func TestByzantineStudyShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(s.Rows) != 5 {
+	if len(s.Rows) != 9 {
 		t.Fatalf("rows = %d", len(s.Rows))
 	}
 	byName := map[string]ByzantineRow{}
@@ -204,6 +204,12 @@ func TestByzantineStudyShape(t *testing.T) {
 	// parity).
 	if def, att := byName["noise, norm clip x1.2"], byName["noise, undefended"]; def.FinalAcc <= att.FinalAcc {
 		t.Errorf("noise defense %.2f not better than undefended %.2f", def.FinalAcc, att.FinalAcc)
+	}
+	for _, name := range []string{"scaled noise, undefended", "scaled noise, norm clip x1.2",
+		"collusion, undefended", "collusion, norm clip x1.2"} {
+		if _, ok := byName[name]; !ok {
+			t.Errorf("missing row %q", name)
+		}
 	}
 	if !strings.Contains(s.Render(), "Byzantine") {
 		t.Error("render incomplete")

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/spyker-fl/spyker/internal/baselines"
+	"github.com/spyker-fl/spyker/internal/fault"
 	"github.com/spyker-fl/spyker/internal/fl"
 	"github.com/spyker-fl/spyker/internal/geo"
 	"github.com/spyker-fl/spyker/internal/metrics"
@@ -68,6 +69,18 @@ func Run(algName string, s Setup) (*Result, error) {
 	}
 	if err := alg.Build(env); err != nil {
 		return nil, fmt.Errorf("build %s: %w", alg.Name(), err)
+	}
+	if env.Faults != nil {
+		cl, ok := alg.(fault.Cluster)
+		if !ok {
+			return nil, fmt.Errorf("experiments: %s does not support failure injection", alg.Name())
+		}
+		inj, err := fault.NewSimInjector(*env.Faults, env.Sim, env.Net, cl)
+		if err != nil {
+			return nil, err
+		}
+		inj.Instrument(env.Trace)
+		inj.Arm()
 	}
 	horizon := s.withDefaults().Horizon
 	final := env.Sim.Run(horizon)

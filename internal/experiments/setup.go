@@ -11,6 +11,7 @@ import (
 	"github.com/spyker-fl/spyker/internal/cluster"
 	"github.com/spyker-fl/spyker/internal/compress"
 	"github.com/spyker-fl/spyker/internal/data"
+	"github.com/spyker-fl/spyker/internal/fault"
 	"github.com/spyker-fl/spyker/internal/fl"
 	"github.com/spyker-fl/spyker/internal/geo"
 	"github.com/spyker-fl/spyker/internal/metrics"
@@ -117,6 +118,13 @@ type Setup struct {
 
 	// Hyper overrides the default paper hyper-parameters when non-nil.
 	Hyper *fl.Hyper
+
+	// Faults declares a failure-injection plan (internal/fault): crashes,
+	// token drops, partitions, lossy links. Run arms an injector for it
+	// when the algorithm supports injection (Spyker does). Nil — the
+	// default — leaves the schedule byte-identical to a pre-fault run;
+	// see TestFaultPlumbingDoesNotPerturbSimulation.
+	Faults *fault.Plan
 
 	// Trace receives protocol and network events from the run
 	// (internal/obs); nil disables tracing. Sinks are passive, so the
@@ -463,6 +471,7 @@ func BuildEnv(s Setup) (*fl.Env, *metrics.Recorder, error) {
 		Seed:       s.Seed,
 		Trace:      sink,
 		Metrics:    reg,
+		Faults:     s.Faults,
 	}
 	if s.Codec != nil {
 		env.Codec = s.Codec

@@ -1,0 +1,101 @@
+package fault
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Proc drives one real spyker-live server process for live failure
+// injection: start it, kill it without warning, and restart it (the
+// caller passes -resume flags pointing at its checkpoint). This is the
+// process-level counterpart of SimInjector's KindCrash.
+type Proc struct {
+	bin  string
+	args []string
+	log  *os.File
+
+	mu   sync.Mutex
+	cmd  *exec.Cmd
+	done chan error
+}
+
+// StartProc launches bin with args, appending stdout+stderr to logPath
+// (created if missing), and returns a handle for killing and restarting
+// it.
+func StartProc(bin string, args []string, logPath string) (*Proc, error) {
+	log, err := os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("fault: open log: %w", err)
+	}
+	p := &Proc{bin: bin, args: args, log: log}
+	if err := p.start(); err != nil {
+		log.Close()
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *Proc) start() error {
+	cmd := exec.Command(p.bin, p.args...)
+	cmd.Stdout = p.log
+	cmd.Stderr = p.log
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("fault: start %s: %w", p.bin, err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	p.mu.Lock()
+	p.cmd, p.done = cmd, done
+	p.mu.Unlock()
+	return nil
+}
+
+// Kill sends SIGKILL — no shutdown handshake, no flush; the process dies
+// exactly like a machine losing power — and reaps the process.
+func (p *Proc) Kill() error {
+	p.mu.Lock()
+	cmd, done := p.cmd, p.done
+	p.mu.Unlock()
+	if cmd == nil || cmd.Process == nil {
+		return fmt.Errorf("fault: kill: process not running")
+	}
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		return fmt.Errorf("fault: kill: %w", err)
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		return fmt.Errorf("fault: kill: process did not exit")
+	}
+	return nil
+}
+
+// Restart relaunches the process with extra arguments appended to the
+// original ones (typically a -resume flag pointing at the checkpoint the
+// killed instance left behind).
+func (p *Proc) Restart(extraArgs ...string) error {
+	p.mu.Lock()
+	p.args = append(p.args, extraArgs...)
+	p.mu.Unlock()
+	return p.start()
+}
+
+// Stop terminates the process if still running and releases the log
+// file. Safe to call after Kill.
+func (p *Proc) Stop() {
+	p.mu.Lock()
+	cmd, done := p.cmd, p.done
+	p.mu.Unlock()
+	if cmd != nil && cmd.Process != nil {
+		cmd.Process.Signal(syscall.SIGKILL)
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+		}
+	}
+	p.log.Close()
+}

@@ -1,6 +1,7 @@
 package fl
 
 import (
+	"math"
 	"math/rand"
 
 	"github.com/spyker-fl/spyker/internal/geo"
@@ -24,8 +25,18 @@ type SimClient struct {
 	// merge; algorithms without lineage tracking ignore it.
 	Deliver func(clientID int, update []float64, meta any, uid obs.UID)
 
+	// CopyUpdates hardens the client for failure injection: the trained
+	// update is sent as an owned copy instead of a live parameter view,
+	// and a model arriving while a previous one is still in its training
+	// window is ignored. Both matter once messages can be lost or
+	// duplicated — a restarted server re-engages every client it starved,
+	// and a duplicated reply would otherwise fork a second training loop
+	// whose update aliases the first one's view.
+	CopyUpdates bool
+
 	attackRNG *rand.Rand
 	sent      int64 // updates sent, the per-client UID sequence
+	busyUntil float64
 }
 
 // tamper replaces an honest update with the configured attack payload.
@@ -44,10 +55,63 @@ func (c *SimClient) tamper(received, trained []float64) []float64 {
 		for i := range out {
 			out[i] = received[i] + c.attackRNG.NormFloat64()
 		}
+	case ByzantineScaledNoise:
+		if c.attackRNG == nil {
+			c.attackRNG = rand.New(rand.NewSource(int64(7919 * (c.Spec.ID + 1))))
+		}
+		// Noise whose norm is five honest-deltas: each component is drawn
+		// independently, then the whole vector is rescaled.
+		scale := 5 * deltaNorm(received, trained)
+		var norm float64
+		for i := range out {
+			out[i] = c.attackRNG.NormFloat64()
+			norm += out[i] * out[i]
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			norm = 1
+		}
+		for i := range out {
+			out[i] = received[i] + scale*out[i]/norm
+		}
+	case ByzantineCollude:
+		// All colluders derive the same direction from the same fixed seed
+		// — deliberately NOT per-client — so their pushes add up instead of
+		// cancelling.
+		dir := rand.New(rand.NewSource(424242))
+		scale := 3 * deltaNorm(received, trained)
+		var norm float64
+		for i := range out {
+			out[i] = dir.NormFloat64()
+			norm += out[i] * out[i]
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			norm = 1
+		}
+		for i := range out {
+			out[i] = received[i] + scale*out[i]/norm
+		}
 	default:
 		copy(out, trained)
 	}
 	return out
+}
+
+// deltaNorm is the L2 norm of the honest training delta, the natural
+// magnitude unit the scaled attacks calibrate against. Falls back to 1
+// when training changed nothing, so the attacks never degenerate to a
+// no-op.
+func deltaNorm(received, trained []float64) float64 {
+	var s float64
+	for i := range trained {
+		d := trained[i] - received[i]
+		s += d * d
+	}
+	if s == 0 {
+		return 1
+	}
+	return math.Sqrt(s)
 }
 
 // HandleModel is invoked when a server model reaches the client. It
@@ -57,6 +121,12 @@ func (c *SimClient) tamper(received, trained []float64) []float64 {
 // postponed to the window's end, so the eventual update is based on a
 // correspondingly stale model.
 func (c *SimClient) HandleModel(params []float64, meta any, lr float64) {
+	if c.CopyUpdates && c.Env.Sim.Now() < c.busyUntil {
+		// A duplicated reply (or a redundant restart re-engagement)
+		// arrived mid-cycle; starting a second overlapping cycle would
+		// permanently double this client's update rate.
+		return
+	}
 	c.Model.SetParams(params)
 	c.Model.Train(c.Spec.Shard, c.Spec.Epochs, lr)
 	// The honest update is the model's live parameter view, not a copy.
@@ -70,6 +140,11 @@ func (c *SimClient) HandleModel(params []float64, meta any, lr float64) {
 	update := c.Model.ParamsView()
 	if c.Spec.Byzantine != ByzantineNone {
 		update = c.tamper(params, update)
+	} else if c.CopyUpdates {
+		// Owned copy: under failure injection this client may retrain
+		// before the server consumed the previous update (the reply was
+		// lost), which would mutate the in-flight view.
+		update = append([]float64(nil), update...)
 	}
 	if c.Env.Codec != nil {
 		// Lossy update compression: the server receives the decoded
@@ -80,6 +155,7 @@ func (c *SimClient) HandleModel(params []float64, meta any, lr float64) {
 	now := c.Env.Sim.Now()
 	start := c.Spec.pauseUntil(now)
 	sendAt := c.Spec.pauseUntil(start + c.Spec.TrainDelay)
+	c.busyUntil = sendAt
 
 	// Mint the update's causal ID at its origin. The counter advances
 	// unconditionally — trace context is plain state, so enabling tracing

@@ -1,6 +1,7 @@
 package fl
 
 import (
+	"math"
 	"testing"
 
 	"github.com/spyker-fl/spyker/internal/compress"
@@ -144,6 +145,29 @@ func TestTamperKinds(t *testing.T) {
 	h := honest.tamper(received, trained)
 	if h[0] != 2 || h[1] != 3 {
 		t.Errorf("honest tamper path = %v", h)
+	}
+
+	// Scaled noise: the perturbation's norm is exactly five honest-delta
+	// norms (delta = (1,2), |delta| = sqrt(5)).
+	scaled := &SimClient{Env: env, Spec: ClientSpec{ID: 4, Byzantine: ByzantineScaledNoise}}
+	s := scaled.tamper(received, trained)
+	d0, d1 := s[0]-received[0], s[1]-received[1]
+	want := 5 * math.Sqrt(5)
+	if got := math.Sqrt(d0*d0 + d1*d1); math.Abs(got-want) > 1e-9 {
+		t.Errorf("scaled-noise perturbation norm = %v, want %v", got, want)
+	}
+
+	// Collusion: two different clients produce the IDENTICAL payload — the
+	// direction is shared, not per-client.
+	c1 := &SimClient{Env: env, Spec: ClientSpec{ID: 5, Byzantine: ByzantineCollude}}
+	c2 := &SimClient{Env: env, Spec: ClientSpec{ID: 6, Byzantine: ByzantineCollude}}
+	p1 := c1.tamper(received, trained)
+	p2 := c2.tamper(received, trained)
+	if p1[0] != p2[0] || p1[1] != p2[1] {
+		t.Errorf("colluders disagree: %v vs %v", p1, p2)
+	}
+	if p1[0] == trained[0] && p1[1] == trained[1] {
+		t.Error("collusion attack returned the honest update")
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"github.com/spyker-fl/spyker/internal/compress"
+	"github.com/spyker-fl/spyker/internal/fault"
 	"github.com/spyker-fl/spyker/internal/geo"
 	"github.com/spyker-fl/spyker/internal/obs"
 	"github.com/spyker-fl/spyker/internal/paramvec"
@@ -59,6 +60,18 @@ const (
 	ByzantineSignFlip
 	// ByzantineNoise sends the received model plus large random noise.
 	ByzantineNoise
+	// ByzantineScaledNoise sends the received model plus Gaussian noise
+	// scaled to five times the honest update's norm, so the attack tracks
+	// the natural update magnitude instead of a fixed scale — large enough
+	// to poison, small enough that magnitude-based outlier rejection alone
+	// does not flag it the way ByzantineNoise's fixed unit noise is.
+	ByzantineScaledNoise
+	// ByzantineCollude makes every colluding client push the model along
+	// the SAME fixed pseudo-random direction, three honest-norms per
+	// update. Unlike independent noise, correlated attacks do not average
+	// out across attackers, which is what makes collusion the harder case
+	// for aggregation defenses.
+	ByzantineCollude
 )
 
 // Absence is a window of virtual time during which a client is offline
@@ -147,6 +160,12 @@ type Hyper struct {
 	// RobustClipFactor > 0 enables Byzantine-robust norm clipping of
 	// client-update deltas in Spyker (see spyker.Config.RobustClipFactor).
 	RobustClipFactor float64
+
+	// Token-loss recovery (see spyker.Config.TokenTimeout and
+	// spyker.Config.SyncRetry). Both default to 0 = disabled, which keeps
+	// fault-free schedules byte-identical to pre-recovery runs.
+	TokenTimeout float64 // ring-silence seconds before token regeneration
+	SyncRetry    float64 // stuck-round seconds before the holder rebroadcasts
 
 	// Processing delays in seconds (paper Tab. 3).
 	ProcSpyker     float64 // 2 ms
@@ -242,6 +261,14 @@ type Env struct {
 	// nil. Buffers handed out by it must be fully overwritten before use
 	// and returned exactly once.
 	Pool *paramvec.Pool
+
+	// Faults, when non-nil, declares the failure-injection plan for this
+	// run (internal/fault). Algorithms that support injection arm their
+	// crash/restart plumbing when they see it — with message loss and
+	// duplication possible, buffer pooling and zero-copy update views are
+	// unsound, so faulty runs trade them for plain owned copies. Nil (the
+	// default) leaves every hot path and the event schedule untouched.
+	Faults *fault.Plan
 }
 
 // ServerProcMultiplier optionally scales each server's processing

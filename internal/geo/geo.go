@@ -118,6 +118,21 @@ func ConstantLatency(l float64) LatencyFunc {
 	return func(Region, Region) float64 { return l }
 }
 
+// Verdict is a perturbation decision for one message in flight: drop it,
+// deliver a duplicate copy, and/or add extra one-way delay in seconds.
+// The zero Verdict delivers the message untouched.
+type Verdict struct {
+	Drop       bool
+	Dup        bool
+	ExtraDelay float64
+}
+
+// PerturbFunc inspects one outgoing message and decides its fate. It runs
+// synchronously inside Send, i.e. in schedule order, so a seeded
+// implementation keeps the whole simulation deterministic. Returning the
+// zero Verdict leaves scheduling byte-identical to an unperturbed network.
+type PerturbFunc func(src, dst Endpoint, size int, kind Traffic) Verdict
+
 // Transfer is one byte-accounting record.
 type Transfer struct {
 	Time  float64 // virtual send time, seconds
@@ -137,7 +152,8 @@ type Network struct {
 	transfers    []Transfer
 	totalBytes   map[Traffic]int
 
-	sink obs.Sink
+	sink    obs.Sink
+	perturb PerturbFunc
 }
 
 type linkKey struct{ src, dst int }
@@ -179,6 +195,12 @@ func (n *Network) Instrument(sink obs.Sink) {
 	n.sink = sink
 }
 
+// SetPerturb installs (or, with nil, removes) the failure-injection hook
+// consulted on every Send. The hook's cost when installed is one call per
+// message; when nil the only cost is a nil check, so an unfaulted network
+// stays on the exact schedule it had before this hook existed.
+func (n *Network) SetPerturb(f PerturbFunc) { n.perturb = f }
+
 // Endpoint identifies a network attachment point: an integer node ID plus
 // its region.
 type Endpoint struct {
@@ -206,7 +228,25 @@ func (n *Network) SendTraced(src, dst Endpoint, size int, kind Traffic, uid obs.
 	n.transfers = append(n.transfers, Transfer{Time: n.sim.Now(), Bytes: size, Kind: kind})
 	n.totalBytes[kind] += size
 
-	arrive := n.sim.Now() + n.latency(src.Region, dst.Region) + float64(size)/n.bandwidth
+	var v Verdict
+	if n.perturb != nil {
+		v = n.perturb(src, dst, size, kind)
+	}
+	if v.Drop {
+		// The sender transmitted (bytes stay accounted) but the message
+		// vanishes on the wire: no delivery, and no FIFO watermark update
+		// since nothing will arrive.
+		if n.sink.Enabled() {
+			n.sink.Emit(obs.Event{
+				Time: n.sim.Now(), Kind: obs.KindMsgSend,
+				Node: src.ID, Peer: dst.ID, Bytes: size, UID: uid,
+				Note: "dropped",
+			})
+		}
+		return
+	}
+
+	arrive := n.sim.Now() + n.latency(src.Region, dst.Region) + float64(size)/n.bandwidth + v.ExtraDelay
 	key := linkKey{src.ID, dst.ID}
 	if last := n.lastDelivery[key]; arrive < last {
 		arrive = last
@@ -227,6 +267,12 @@ func (n *Network) SendTraced(src, dst Endpoint, size int, kind Traffic, uid obs.
 		}
 	}
 	n.sim.ScheduleAt(arrive, deliver)
+	if v.Dup {
+		// The duplicate lands at the same instant; the simulator's
+		// insertion-order tiebreak delivers it deterministically right
+		// after the original.
+		n.sim.ScheduleAt(arrive, deliver)
+	}
 }
 
 // TotalBytes reports the cumulative bytes sent for a traffic category.

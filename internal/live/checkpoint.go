@@ -94,11 +94,13 @@ func NewServerFromCheckpoint(addr string, st spyker.State) (*Server, error) {
 		listener: l,
 		clients:  make(map[int]*outbox),
 		peers:    make([]*outbox, st.Config.NumServers),
+		conns:    make(map[*transport.Conn]struct{}),
 		clientLR: st.Config.ClientLR,
 		sink:     obs.Nop{},
 		clock:    obs.WallClock(time.Now()),
 		txPeer:   make(map[int]*obs.Counter),
 		rxPeer:   make(map[int]*obs.Counter),
+		stop:     make(chan struct{}),
 	}
 	core, err := spyker.RestoreServerCore(st, (*serverOutbound)(s))
 	if err != nil {

@@ -2,6 +2,7 @@ package live
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/spyker-fl/spyker/internal/fl"
 	"github.com/spyker-fl/spyker/internal/obs"
@@ -26,14 +27,43 @@ func (c *Client) Updates() int { return c.updates }
 // Run connects to serverAddr and participates until shutdown. It returns
 // nil on an orderly shutdown and the transport error otherwise.
 func (c *Client) Run(serverAddr string) error {
+	_, err := c.runOnce(serverAddr)
+	return err
+}
+
+// RunLoop participates like Run but survives server crashes: whenever the
+// connection drops without an orderly KindShutdown frame, it waits retry
+// and redials addrOf() — which may return a different address after the
+// server restarted, or "" to skip this round. It returns after a
+// shutdown frame, or once stop closes (checked between attempts).
+func (c *Client) RunLoop(addrOf func() string, retry time.Duration, stop <-chan struct{}) {
+	for {
+		if addr := addrOf(); addr != "" {
+			if shutdown, _ := c.runOnce(addr); shutdown {
+				return
+			}
+		}
+		select {
+		case <-stop:
+			return
+		case <-time.After(retry):
+		}
+	}
+}
+
+// runOnce is one connection's worth of participation. shutdown reports
+// whether the server ended it with an explicit KindShutdown frame — a
+// dropped connection (server crash or teardown) returns false with a nil
+// error, which is what lets RunLoop distinguish "redial" from "done".
+func (c *Client) runOnce(serverAddr string) (shutdown bool, _ error) {
 	conn, err := transport.Dial(serverAddr)
 	if err != nil {
-		return err
+		return false, err
 	}
 	defer func() { _ = conn.Close() }()
 
 	if err := conn.Send(&transport.Msg{Kind: transport.KindHello, From: c.ID, Bid: RoleClient}); err != nil {
-		return err
+		return false, err
 	}
 	// Both frames are reused across iterations: RecvInto recycles the
 	// inbound Params buffer, and the outbound update serializes straight
@@ -45,11 +75,11 @@ func (c *Client) Run(serverAddr string) error {
 		if err := conn.RecvInto(&in); err != nil {
 			// The server closing the connection during teardown is an
 			// orderly end of participation.
-			return nil
+			return false, nil
 		}
 		switch in.Kind {
 		case transport.KindShutdown:
-			return nil
+			return true, nil
 		case transport.KindModelReply:
 			c.Model.SetParams(in.Params)
 			c.Model.Train(c.Shard, c.Epochs, in.LR)
@@ -65,10 +95,10 @@ func (c *Client) Run(serverAddr string) error {
 				Trace:  transport.Trace{UID: obs.UpdateUID(c.ID, int64(c.updates))},
 			}
 			if err := conn.Send(&out); err != nil {
-				return nil
+				return false, nil
 			}
 		default:
-			return fmt.Errorf("live: client %d got unexpected %v", c.ID, in.Kind)
+			return false, fmt.Errorf("live: client %d got unexpected %v", c.ID, in.Kind)
 		}
 	}
 }

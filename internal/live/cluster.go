@@ -9,7 +9,6 @@ import (
 
 	"github.com/spyker-fl/spyker/internal/fl"
 	"github.com/spyker-fl/spyker/internal/obs"
-	"github.com/spyker-fl/spyker/internal/spyker"
 )
 
 // ClusterConfig describes a local live deployment: n servers on ephemeral
@@ -95,20 +94,7 @@ func RunCluster(cfg ClusterConfig, duration time.Duration) (*ClusterStats, error
 		if i == cfg.NumServers-1 {
 			clientsHere = cfg.NumClients - perServer*(cfg.NumServers-1)
 		}
-		score := spyker.Config{
-			ID:           i,
-			NumServers:   cfg.NumServers,
-			NumClients:   clientsHere,
-			EtaServer:    cfg.Hyper.EtaServer,
-			Phi:          cfg.Hyper.Phi,
-			EtaA:         cfg.Hyper.EtaA,
-			HInter:       cfg.Hyper.HInter,
-			HIntra:       cfg.Hyper.HIntra,
-			ClientLR:     cfg.Hyper.ClientLR,
-			DecayEnabled: cfg.Hyper.DecayEnabled,
-			Beta:         cfg.Hyper.Beta,
-			EtaMin:       cfg.Hyper.EtaMin,
-		}
+		score := ServerConfig(i, cfg.NumServers, clientsHere, cfg.Hyper)
 		srv, err := NewServer(i, "127.0.0.1:0", score, initial, i == 0)
 		if err != nil {
 			closeAll(servers[:i])
@@ -117,6 +103,9 @@ func RunCluster(cfg ClusterConfig, duration time.Duration) (*ClusterStats, error
 		srv.InjectLatency(cfg.PeerLatency, cfg.ClientLatency)
 		if sink != nil || cfg.Metrics != nil {
 			srv.Instrument(sink, cfg.Metrics)
+		}
+		if cfg.Hyper.TokenTimeout > 0 || cfg.Hyper.SyncRetry > 0 {
+			srv.StartTokenTicker(tickerPeriod(cfg.Hyper.TokenTimeout, cfg.Hyper.SyncRetry))
 		}
 		servers[i] = srv
 		addrs[i] = srv.Addr()
@@ -202,6 +191,16 @@ func RunCluster(cfg ClusterConfig, duration time.Duration) (*ClusterStats, error
 	}
 	stats.FinalParams = finals
 	return stats, nil
+}
+
+// tickerPeriod picks the recovery tick from the armed timeouts: a
+// quarter of the shortest one, mirroring the DES runtime's choice.
+func tickerPeriod(tokenTimeout, syncRetry float64) time.Duration {
+	shortest := tokenTimeout
+	if syncRetry > 0 && (shortest == 0 || syncRetry < shortest) {
+		shortest = syncRetry
+	}
+	return time.Duration(shortest / 4 * float64(time.Second))
 }
 
 func closeAll(servers []*Server) {

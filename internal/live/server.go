@@ -30,10 +30,14 @@ const (
 // enqueue, a dedicated goroutine drains in FIFO order and owns the
 // connection's write side. Closing the outbox flushes pending frames and
 // then closes the connection, which is what unblocks the remote reader.
+// failed flips once a send errors; the peer-reconnect loop polls it to
+// decide which links need redialing.
 type outbox struct {
-	ch    chan timedMsg
-	done  chan struct{}
-	delay time.Duration
+	conn   transport.Sender
+	ch     chan timedMsg
+	done   chan struct{}
+	delay  time.Duration
+	failed atomic.Bool
 }
 
 // timedMsg remembers when the frame was enqueued so the injected latency
@@ -51,8 +55,8 @@ type timedMsg struct {
 // injects a one-way link latency (FIFO order is preserved because a
 // single goroutine drains); this lets a localhost deployment emulate
 // geo-distributed links.
-func newOutbox(conn *transport.Conn, delay time.Duration) *outbox {
-	o := &outbox{ch: make(chan timedMsg, 1024), done: make(chan struct{}), delay: delay}
+func newOutbox(conn transport.Sender, delay time.Duration) *outbox {
+	o := &outbox{conn: conn, ch: make(chan timedMsg, 1024), done: make(chan struct{}), delay: delay}
 	go func() {
 		defer close(o.done)
 		defer func() { _ = conn.Close() }()
@@ -64,6 +68,7 @@ func newOutbox(conn *transport.Conn, delay time.Duration) *outbox {
 				}
 				if err := conn.Send(tm.m); err != nil {
 					dead = true // connection is gone; keep draining to release payloads
+					o.failed.Store(true)
 				}
 			}
 			if tm.release != nil {
@@ -96,6 +101,15 @@ func (o *outbox) enqueueRelease(m *transport.Msg, release func()) {
 // the connection closes. Use wait to block until that happened.
 func (o *outbox) beginClose() { close(o.ch) }
 
+// kill is the non-graceful counterpart of beginClose: it severs the
+// connection immediately, so pending frames error out instead of
+// flushing. Used by Server.Kill to emulate a process crash.
+func (o *outbox) kill() {
+	o.failed.Store(true)
+	_ = o.conn.Close()
+	close(o.ch)
+}
+
 // wait blocks until the drain goroutine has exited.
 func (o *outbox) wait() { <-o.done }
 
@@ -110,6 +124,18 @@ type Server struct {
 	core    *spyker.ServerCore
 	clients map[int]*outbox
 	peers   []*outbox // indexed by server ID; nil for self
+
+	// conns tracks every inbound connection currently being read, so Kill
+	// can sever them without waiting for the remote side.
+	conns map[*transport.Conn]struct{}
+
+	// peerWrap, when set, wraps every dialed peer connection (initial dial
+	// and reconnect alike); fault injection harnesses use it to interpose
+	// drop/delay/sever shims (internal/fault.WrapConn).
+	peerWrap func(peer int, conn transport.Sender) transport.Sender
+
+	// stop ends the background ticker/reconnect loops on Close or Kill.
+	stop chan struct{}
 
 	clientLR    float64
 	peerDelay   time.Duration // injected one-way latency on peer links
@@ -155,11 +181,13 @@ func NewServer(id int, addr string, cfg spyker.Config, initial []float64, holdsT
 		listener: l,
 		clients:  make(map[int]*outbox),
 		peers:    make([]*outbox, cfg.NumServers),
+		conns:    make(map[*transport.Conn]struct{}),
 		clientLR: cfg.ClientLR,
 		sink:     obs.Nop{},
 		clock:    obs.WallClock(time.Now()),
 		txPeer:   make(map[int]*obs.Counter),
 		rxPeer:   make(map[int]*obs.Counter),
+		stop:     make(chan struct{}),
 	}
 	s.core = spyker.NewServerCore(cfg, initial, holdsToken, (*serverOutbound)(s))
 	s.wg.Add(1)
@@ -269,6 +297,21 @@ func (s *Server) SyncsTriggered() int {
 	return s.core.SyncsTriggered()
 }
 
+// HoldsToken reports whether this server currently holds the sync token.
+func (s *Server) HoldsToken() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.core.HasToken()
+}
+
+// TokenRegens reports how many replacement tokens this server has minted
+// after detecting ring silence (Config.TokenTimeout).
+func (s *Server) TokenRegens() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.core.TokenRegens()
+}
+
 // Params returns a snapshot of the server model.
 func (s *Server) Params() []float64 {
 	s.mu.Lock()
@@ -301,9 +344,120 @@ func (s *Server) ConnectPeers(addrs []string) error {
 		if err := conn.Send(&transport.Msg{Kind: transport.KindHello, From: s.ID, Bid: RoleServer}); err != nil {
 			return err
 		}
-		s.peers[id] = newOutbox(conn, s.peerDelay)
+		var sender transport.Sender = conn
+		if s.peerWrap != nil {
+			sender = s.peerWrap(id, sender)
+		}
+		s.peers[id] = newOutbox(sender, s.peerDelay)
 	}
 	return nil
+}
+
+// SetPeerWrapper installs a hook applied to every peer connection this
+// server dials, after the hello handshake: ConnectPeers and the
+// reconnect loop both route new links through it. Fault harnesses use it
+// to interpose fault.Conn shims. Call before ConnectPeers.
+func (s *Server) SetPeerWrapper(w func(peer int, conn transport.Sender) transport.Sender) {
+	s.peerWrap = w
+}
+
+// StartTokenTicker drives the core's token-loss recovery clock: every
+// period it feeds the wall time into spyker.ServerCore.Tick, which is
+// what arms the silence-timeout regeneration and stuck-round retry
+// configured by Config.TokenTimeout / Config.SyncRetry. Without a ticker
+// a live server never detects a lost token.
+func (s *Server) StartTokenTicker(every time.Duration) {
+	if every <= 0 {
+		return
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-tick.C:
+				s.mu.Lock()
+				if !s.closing.Load() {
+					s.core.Tick(s.clock())
+				}
+				s.mu.Unlock()
+			}
+		}
+	}()
+}
+
+// StartPeerReconnect keeps the ring wired through peer crashes: every
+// period it redials any peer whose outbox has failed (or was never
+// connected), using addrOf to learn the peer's current address — which
+// may have changed across a restart. An empty address skips the peer
+// this round.
+func (s *Server) StartPeerReconnect(every time.Duration, addrOf func(id int) string) {
+	if every <= 0 {
+		return
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-tick.C:
+				s.redialFailedPeers(addrOf)
+			}
+		}
+	}()
+}
+
+func (s *Server) redialFailedPeers(addrOf func(id int) string) {
+	var stale []int
+	s.mu.Lock()
+	for id, p := range s.peers {
+		if id == s.ID {
+			continue
+		}
+		if p == nil || p.failed.Load() {
+			stale = append(stale, id)
+		}
+	}
+	s.mu.Unlock()
+	for _, id := range stale {
+		addr := addrOf(id)
+		if addr == "" {
+			continue
+		}
+		conn, err := transport.Dial(addr)
+		if err != nil {
+			continue // peer still down; try again next period
+		}
+		if err := conn.Send(&transport.Msg{Kind: transport.KindHello, From: s.ID, Bid: RoleServer}); err != nil {
+			_ = conn.Close()
+			continue
+		}
+		var sender transport.Sender = conn
+		if s.peerWrap != nil {
+			sender = s.peerWrap(id, sender)
+		}
+		ob := newOutbox(sender, s.peerDelay)
+		s.mu.Lock()
+		if s.closing.Load() {
+			s.mu.Unlock()
+			ob.beginClose()
+			return
+		}
+		old := s.peers[id]
+		s.peers[id] = ob
+		s.mu.Unlock()
+		if old != nil {
+			old.beginClose()
+		}
+	}
 }
 
 // Close shuts the server down: clients are told to shut down, all
@@ -315,6 +469,7 @@ func (s *Server) Close() {
 	if !s.closing.CompareAndSwap(false, true) {
 		return
 	}
+	close(s.stop)
 	s.mu.Lock()
 	// After this block no handler will enqueue again: dispatch and
 	// registerClient check s.closing under the same mutex.
@@ -341,6 +496,47 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
+// Kill is the crash counterpart of Close: no shutdown frames, no flush —
+// every connection is severed immediately and the listener stops, as if
+// the process had died. Clients observe a dropped connection (and redial
+// if they run via RunLoop); peers observe send failures and mark the
+// link for reconnection. The protocol state is abandoned exactly where
+// it was, so a failover harness pairs Kill with a prior checkpoint and
+// NewServerFromCheckpoint.
+func (s *Server) Kill() {
+	if !s.closing.CompareAndSwap(false, true) {
+		return
+	}
+	close(s.stop)
+	s.mu.Lock()
+	outboxes := make([]*outbox, 0, len(s.clients)+len(s.peers))
+	for _, c := range s.clients {
+		outboxes = append(outboxes, c)
+	}
+	for _, p := range s.peers {
+		if p != nil {
+			outboxes = append(outboxes, p)
+		}
+	}
+	conns := make([]*transport.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	_ = s.listener.Close()
+	for _, o := range outboxes {
+		o.kill()
+	}
+	for _, c := range conns {
+		_ = c.Close() // unblocks the readLoop regardless of the remote side
+	}
+	for _, o := range outboxes {
+		o.wait()
+	}
+	s.wg.Wait()
+}
+
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
 	for {
@@ -357,6 +553,19 @@ func (s *Server) acceptLoop() {
 // dispatches protocol messages into the core.
 func (s *Server) readLoop(conn *transport.Conn) {
 	defer s.wg.Done()
+	s.mu.Lock()
+	if s.closing.Load() {
+		s.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
 	hello, err := conn.Recv()
 	if err != nil || hello.Kind != transport.KindHello {
 		_ = conn.Close()

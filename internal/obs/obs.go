@@ -56,6 +56,20 @@ const (
 	// KindCheckpoint fires when the live runtime persists a server
 	// snapshot. Node = server, Bytes = encoded size.
 	KindCheckpoint
+	// KindFault fires when the failure injector (internal/fault) applies
+	// one planned fault. Node = targeted server (NoPeer for link faults),
+	// Note = a short description like "crash", "restart", or "partition
+	// 0->1".
+	KindFault
+	// KindTokenRegen fires when a server's silence timeout expires and it
+	// mints a replacement token. Node = regenerating server, Bid = the
+	// fresh (strictly higher) bid the new token carries.
+	KindTokenRegen
+	// KindTokenRetire fires when a server discards a token: a stale
+	// incoming one (Note "stale-incoming"), its own token superseded by a
+	// higher-bid round (Note "superseded"), or an injected drop (Note
+	// "injected-drop"). Bid = the retired token's bid.
+	KindTokenRetire
 )
 
 // kindNames maps kinds to their stable wire names (used in JSONL traces).
@@ -68,6 +82,9 @@ var kindNames = map[EventKind]string{
 	KindMsgSend:      "msg-send",
 	KindMsgRecv:      "msg-recv",
 	KindCheckpoint:   "checkpoint",
+	KindFault:        "fault",
+	KindTokenRegen:   "token-regen",
+	KindTokenRetire:  "token-retire",
 }
 
 // kindByName is the inverse of kindNames, built once at init.

@@ -83,6 +83,27 @@ type Config struct {
 	// Sign-flipped or noise updates from malicious clients are thereby
 	// bounded to the influence of one ordinary update. 0 disables.
 	RobustClipFactor float64
+
+	// TokenTimeout > 0 arms token-loss recovery (the crash/recovery
+	// extension, ROADMAP 4(c)): a server that neither holds the token nor
+	// has observed fresh ring traffic (a token arrival or a previously
+	// unseen sync-round broadcast) for this many clock seconds — as
+	// sampled by Tick — regenerates the token with a strictly higher bid,
+	// so any stale survivor that later resurfaces is discarded by the bid
+	// comparison in HandleToken. 0 (the default) disables recovery and
+	// leaves the protocol exactly as specified by Alg. 2. The timeout
+	// should be several times the expected gap between synchronizations:
+	// a spurious regeneration during a legitimately quiet phase is safe
+	// (the bid order retires the losing token) but costs an extra round.
+	TokenTimeout float64
+
+	// SyncRetry > 0 makes a token holder whose synchronization round has
+	// made no progress for this many clock seconds re-broadcast its model
+	// under the same bid. A round stalls permanently when a participant
+	// was down (or a broadcast was lost) — the holder's cnt can then never
+	// reach NumServers — and the retry lets a restarted server join the
+	// round late, completing it. 0 disables.
+	SyncRetry float64
 }
 
 // ServerCore is the Spyker server state machine. It is not safe for
@@ -131,6 +152,24 @@ type ServerCore struct {
 	syncsTriggered int
 	syncsJoined    int
 
+	// Token-loss recovery state (see Config.TokenTimeout and Tick).
+	// maxBidSeen is the highest sync-round bid this server has witnessed —
+	// carried by an adopted token or by a received model broadcast; a
+	// token whose post-increment bid does not exceed it is a stale
+	// survivor (or wire duplicate) and is discarded. ringSeq counts fresh
+	// ring activity; Tick compares it against lastRingSeq to measure
+	// silence. stuck* track how long the holder's current round has made
+	// no progress (the SyncRetry path).
+	maxBidSeen  int
+	ringSeq     uint64
+	lastRingSeq uint64
+	quietSince  float64
+	quietValid  bool
+	stuckBid    int
+	stuckSince  float64
+	stuckValid  bool
+	tokenRegens int
+
 	// Observability (see Instrument): sink receives protocol events
 	// stamped with clock(). Defaults to the no-op sink and a zero clock,
 	// so an uninstrumented core pays one interface call per handler.
@@ -164,6 +203,7 @@ func NewServerCore(cfg Config, initial []float64, holdsToken bool, out Outbound)
 	if holdsToken {
 		s.token = &Token{Bid: 1, Ages: make([]float64, cfg.NumServers)}
 		s.hasToken = true
+		s.maxBidSeen = 1
 	}
 	return s
 }
@@ -369,6 +409,15 @@ func (s *ServerCore) applyClientDelta(params []float64, weight float64) {
 	}
 }
 
+// ReengageClient re-sends the current model to client k without
+// processing an update. The restart path uses it to revive clients that
+// starved while this server was down: their in-flight updates were
+// discarded, so without a fresh model no reply would ever reach them and
+// their training loop would stay parked forever.
+func (s *ServerCore) ReengageClient(k int) {
+	s.out.ReplyClient(k, s.w, s.age, s.decayedRate(k))
+}
+
 // ClippedUpdates reports how many client updates were norm-clipped.
 func (s *ServerCore) ClippedUpdates() int { return s.clipped }
 
@@ -411,7 +460,30 @@ func (s *ServerCore) HandleAge(j int, age float64) {
 // may be staler than direct knowledge (the token traveled the ring), but
 // adopting them is still safe: a wrongly perceived drift at worst
 // triggers one extra exchange, whose direct reports refresh the map.
+//
+// Recovery extension: a token whose post-increment bid does not exceed
+// the freshest round bid this server has witnessed is a stale survivor
+// (the pre-crash token resurfacing after a regeneration) or a wire
+// duplicate, and is discarded — the "Token.Bid dedup" that keeps recovery
+// single-token. In fault-free executions the condition never fires: every
+// token pass follows a completed round whose broadcasts carried exactly
+// maxBidSeen, so the incoming bid is always maxBidSeen+1.
 func (s *ServerCore) HandleToken(t Token) {
+	s.ringSeq++
+	if t.Bid+1 <= s.maxBidSeen {
+		if s.sink.Enabled() {
+			s.sink.Emit(obs.Event{
+				Time: s.clock(), Kind: obs.KindTokenRetire,
+				Node: s.cfg.ID, Peer: obs.NoPeer, Bid: t.Bid, Note: "stale-incoming",
+			})
+		}
+		return
+	}
+	if s.hasToken {
+		// The incoming token outbids ours (a regenerated token overtaking
+		// a dormant survivor): ours retires, the higher bid wins.
+		s.retireOwnToken()
+	}
 	for j, a := range t.Ages {
 		if j != s.cfg.ID {
 			s.ages[j] = a
@@ -421,8 +493,124 @@ func (s *ServerCore) HandleToken(t Token) {
 	t.Bid++
 	s.token = &t
 	s.hasToken = true
+	if t.Bid > s.maxBidSeen {
+		s.maxBidSeen = t.Bid
+	}
 	s.checkSynchronization()
 }
+
+// retireOwnToken discards the held token (it lost a bid comparison to a
+// fresher round or token). Any round it was brokering is abandoned; the
+// fresher round that superseded it redistributes the models anyway.
+func (s *ServerCore) retireOwnToken() {
+	if s.sink.Enabled() {
+		s.sink.Emit(obs.Event{
+			Time: s.clock(), Kind: obs.KindTokenRetire,
+			Node: s.cfg.ID, Peer: obs.NoPeer, Bid: s.token.Bid, Note: "superseded",
+		})
+	}
+	s.token = nil
+	s.hasToken = false
+	s.ongoingSynchro = false
+}
+
+// DropToken discards a held token without forwarding it, simulating the
+// token being lost in flight or with a crashed process — the injected
+// fault internal/fault uses to exercise recovery without a full crash.
+// It reports whether a token was actually held.
+func (s *ServerCore) DropToken() bool {
+	if !s.hasToken {
+		return false
+	}
+	if s.sink.Enabled() {
+		s.sink.Emit(obs.Event{
+			Time: s.clock(), Kind: obs.KindTokenRetire,
+			Node: s.cfg.ID, Peer: obs.NoPeer, Bid: s.token.Bid, Note: "injected-drop",
+		})
+	}
+	s.token = nil
+	s.hasToken = false
+	s.ongoingSynchro = false
+	return true
+}
+
+// Tick drives the clock-based recovery paths; now is the same clock that
+// stamps this core's events (virtual seconds under the simulator, wall
+// seconds since start in the live runtime). Callers invoke it
+// periodically — a few times per TokenTimeout — from the same context
+// that serializes the other handlers. With recovery disarmed (both
+// TokenTimeout and SyncRetry zero, the default) it returns immediately
+// and allocates nothing.
+func (s *ServerCore) Tick(now float64) {
+	if (s.cfg.TokenTimeout <= 0 && s.cfg.SyncRetry <= 0) || s.cfg.NumServers <= 1 {
+		return
+	}
+	if s.cfg.SyncRetry > 0 {
+		if s.hasToken && s.ongoingSynchro {
+			if !s.stuckValid || s.stuckBid != s.token.Bid {
+				s.stuckValid = true
+				s.stuckBid = s.token.Bid
+				s.stuckSince = now
+			} else if now-s.stuckSince >= s.cfg.SyncRetry {
+				// The round has not completed for a full retry period: a
+				// participant is down or a broadcast was lost. Re-broadcast
+				// under the same bid — peers that already served it only
+				// re-aggregate, while a restarted server joins late and its
+				// broadcast finally completes the count.
+				s.stuckSince = now
+				if s.sink.Enabled() {
+					s.sink.Emit(obs.Event{
+						Time: now, Kind: obs.KindSyncStart,
+						Node: s.cfg.ID, Peer: obs.NoPeer, Bid: s.token.Bid, Note: "retry",
+					})
+				}
+				s.out.BroadcastModel(s.w, s.age, s.token.Bid, s.frontier)
+			}
+		} else {
+			s.stuckValid = false
+		}
+	}
+	if s.cfg.TokenTimeout > 0 {
+		if s.hasToken || s.ringSeq != s.lastRingSeq || !s.quietValid {
+			s.lastRingSeq = s.ringSeq
+			s.quietSince = now
+			s.quietValid = true
+			return
+		}
+		if now-s.quietSince >= s.cfg.TokenTimeout {
+			s.quietSince = now
+			s.regenerateToken(now)
+		}
+	}
+}
+
+// regenerateToken mints a replacement token after a silence timeout. The
+// bid jumps past everything this server has witnessed by a margin of
+// NumServers (covering in-flight increments of a token it may not have
+// seen) plus its own ID — so concurrent regenerations at different
+// servers mint distinct bids, and the strictly highest one wins every
+// later comparison, retiring the others.
+func (s *ServerCore) regenerateToken(now float64) {
+	bid := s.maxBidSeen + s.cfg.NumServers + 1 + s.cfg.ID
+	s.token = &Token{Bid: bid, Ages: tensor.Clone(s.ages)}
+	s.hasToken = true
+	s.maxBidSeen = bid
+	s.tokenRegens++
+	if s.sink.Enabled() {
+		s.sink.Emit(obs.Event{
+			Time: now, Kind: obs.KindTokenRegen,
+			Node: s.cfg.ID, Peer: obs.NoPeer, Bid: bid,
+		})
+	}
+	s.checkSynchronization()
+}
+
+// TokenRegens reports how many times this server regenerated the token.
+func (s *ServerCore) TokenRegens() int { return s.tokenRegens }
+
+// MaxBidSeen reports the highest sync-round bid this server has
+// witnessed (diagnostics and tests).
+func (s *ServerCore) MaxBidSeen() int { return s.maxBidSeen }
 
 // HandleServerModel processes another server's model broadcast
 // (Alg. 2 RcvModel).
@@ -436,6 +624,23 @@ func (s *ServerCore) HandleServerModel(j int, params []float64, age float64, bid
 // frontier max-merges it, because the weighted model merge incorporates
 // the causal influence of every update the remote model had seen.
 func (s *ServerCore) HandleServerModelTraced(j int, params []float64, age float64, bid int, front []int64) {
+	// Fresh ring traffic resets the silence timer — but a holder's
+	// SyncRetry re-broadcast of an already-served round does not, or a
+	// stale holder stuck re-broadcasting a dead round would suppress the
+	// regeneration that is supposed to supersede it.
+	if bid > s.maxBidSeen || !s.didBroadcast[bid] {
+		s.ringSeq++
+	}
+	if bid > s.maxBidSeen {
+		s.maxBidSeen = bid
+	}
+	if s.hasToken && bid > s.token.Bid {
+		// A round fresher than our token's exists, so ours is a stale
+		// survivor of a regeneration (with a single token no broadcast can
+		// outrun the holder's own bid): retire it and join the fresh round
+		// below like any non-holder.
+		s.retireOwnToken()
+	}
 	s.ages[j] = age
 	if !s.didBroadcast[bid] {
 		s.didBroadcast[bid] = true

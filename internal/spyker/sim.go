@@ -2,6 +2,7 @@ package spyker
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/spyker-fl/spyker/internal/fl"
 	"github.com/spyker-fl/spyker/internal/geo"
@@ -9,13 +10,23 @@ import (
 )
 
 // Algorithm runs Spyker under the discrete-event simulator. It implements
-// fl.Algorithm.
+// fl.Algorithm, and — when the environment carries a fault plan — the
+// fault.Cluster control surface, so internal/fault can crash, checkpoint,
+// restart, and rob servers of the token.
 type Algorithm struct {
 	// DisableDecay turns the learning-rate decay off (for the Fig. 11
 	// ablation).
 	DisableDecay bool
 
 	servers []*simServer
+
+	// faultsArmed is set when Env.Faults != nil. It switches the message
+	// glue from pooled zero-copy buffers to plain owned copies (injected
+	// drops and duplicates break the pool's exactly-once release
+	// protocol) and enables the down/epoch guards. Disarmed runs take
+	// exactly the pre-fault code paths.
+	faultsArmed bool
+	initial     []float64 // pristine t=0 model, the restart fallback
 }
 
 var _ fl.Algorithm = (*Algorithm)(nil)
@@ -35,12 +46,47 @@ type simServer struct {
 	env    *fl.Env
 	alg    *Algorithm
 	id     int
+	cfg    Config
 	core   *ServerCore
 	queue  *fl.ProcQueue
 	client map[int]*fl.SimClient
+
+	// Failure-injection state, only touched when faultsArmed. down marks
+	// a crashed server: arriving messages are discarded. epoch counts
+	// crash/restart transitions so work already sitting in the processing
+	// queue when the crash hit is invalidated rather than applied to the
+	// restarted incarnation. ckpt is the restart point (fault.Cluster
+	// Checkpoint), and heardSince tracks which clients this incarnation
+	// has processed an update from — the re-engagement pass skips them.
+	down       bool
+	epoch      int
+	ckpt       State
+	hasCkpt    bool
+	heardSince map[int]bool
 }
 
 var _ Outbound = (*simServer)(nil)
+
+// submit queues fn on the server's processing queue. With faults armed it
+// adds the crash guards: a message reaching a down server is discarded,
+// and queued work from before a crash is not applied to the restarted
+// incarnation (its volatile queue died with it).
+func (s *simServer) submit(proc float64, fn func()) {
+	if !s.alg.faultsArmed {
+		s.queue.Submit(proc, fn)
+		return
+	}
+	if s.down {
+		return
+	}
+	epoch := s.epoch
+	s.queue.Submit(proc, func() {
+		if s.down || s.epoch != epoch {
+			return
+		}
+		fn()
+	})
+}
 
 // Build implements fl.Algorithm.
 func (a *Algorithm) Build(env *fl.Env) error {
@@ -49,6 +95,8 @@ func (a *Algorithm) Build(env *fl.Env) error {
 	}
 	n := len(env.Servers)
 	initial := env.NewModel(env.Seed).Params()
+	a.faultsArmed = env.Faults != nil
+	a.initial = initial
 
 	a.servers = make([]*simServer, n)
 	for i := range a.servers {
@@ -78,11 +126,19 @@ func (a *Algorithm) Build(env *fl.Env) error {
 			EtaMin:       env.Hyper.EtaMin,
 
 			RobustClipFactor: env.Hyper.RobustClipFactor,
+
+			TokenTimeout: env.Hyper.TokenTimeout,
+			SyncRetry:    env.Hyper.SyncRetry,
+		}
+		s.cfg = cfg
+		if a.faultsArmed {
+			s.heardSince = make(map[int]bool)
 		}
 		s.core = NewServerCore(cfg, initial, i == 0, s)
 		s.core.Instrument(env.Trace, env.Sim.Now)
 		a.servers[i] = s
 	}
+	a.scheduleTicks(env)
 
 	// Create the clients and hand every one the initial model at time 0
 	// (clients begin training immediately, as in the paper's emulation).
@@ -90,16 +146,20 @@ func (a *Algorithm) Build(env *fl.Env) error {
 		spec := env.Clients[ci]
 		srv := a.servers[spec.Server]
 		c := &fl.SimClient{
-			Env:   env,
-			Spec:  spec,
-			Model: env.NewModel(env.Seed + int64(1000+ci)),
+			Env:         env,
+			Spec:        spec,
+			Model:       env.NewModel(env.Seed + int64(1000+ci)),
+			CopyUpdates: a.faultsArmed,
 			Deliver: func(clientID int, update []float64, meta any, uid obs.UID) {
 				age, ok := meta.(float64)
 				if !ok {
 					panic(fmt.Sprintf("spyker: client meta %T is not an age", meta))
 				}
-				srv.queue.Submit(env.ProcFor(srv.id, env.Hyper.ProcSpyker), func() {
+				srv.submit(env.ProcFor(srv.id, env.Hyper.ProcSpyker), func() {
 					srv.core.HandleClientUpdateTraced(clientID, update, age, uid)
+					if srv.heardSince != nil {
+						srv.heardSince[clientID] = true
+					}
 					env.Observer.ClientUpdateProcessed(
 						env.Sim.Now(), srv.id, clientID, a.ServerParams)
 				})
@@ -109,6 +169,133 @@ func (a *Algorithm) Build(env *fl.Env) error {
 		c.HandleModel(initial, float64(0), env.Hyper.ClientLR)
 	}
 	return nil
+}
+
+// scheduleTicks drives ServerCore.Tick for the recovery timers. Nothing
+// is scheduled when both timeouts are off, so a recovery-disabled run's
+// event schedule is byte-identical to one predating this extension. The
+// tick period quarters the tightest timeout (detection latency at most
+// 1.25× the configured window), and the first tick of each server is
+// staggered by one period/n so simultaneous survivors do not all
+// regenerate in the same instant.
+func (a *Algorithm) scheduleTicks(env *fl.Env) {
+	period := env.Hyper.TokenTimeout
+	if r := env.Hyper.SyncRetry; r > 0 && (period == 0 || r < period) {
+		period = r
+	}
+	if period <= 0 {
+		return
+	}
+	period /= 4
+	n := len(a.servers)
+	for _, s := range a.servers {
+		s := s
+		var tick func()
+		tick = func() {
+			if !s.down {
+				s.core.Tick(env.Sim.Now())
+			}
+			env.Sim.Schedule(period, tick)
+		}
+		env.Sim.ScheduleAt(period*(1+float64(s.id)/float64(n)), tick)
+	}
+}
+
+// reengageGrace is how long a restarted server waits before re-sending
+// its model to clients it has not heard from. The grace period lets
+// updates that were already in flight at restart land first, so their
+// clients are not handed a second concurrent training loop. One virtual
+// second comfortably exceeds any link latency plus queueing in the
+// modeled deployments.
+const reengageGrace = 1.0
+
+// NumServers implements fault.Cluster.
+func (a *Algorithm) NumServers() int { return len(a.servers) }
+
+// TokenHolder implements fault.Cluster: the live server currently
+// holding the token, or -1 when the token is in flight or lost.
+func (a *Algorithm) TokenHolder() int {
+	for i, s := range a.servers {
+		if !s.down && s.core.HasToken() {
+			return i
+		}
+	}
+	return -1
+}
+
+// Checkpoint implements fault.Cluster: snapshot server i's protocol
+// state as its restart point. A down server cannot checkpoint.
+func (a *Algorithm) Checkpoint(i int) {
+	s := a.servers[i]
+	if s.down {
+		return
+	}
+	s.core.SnapshotInto(&s.ckpt)
+	s.hasCkpt = true
+}
+
+// Crash implements fault.Cluster: server i loses its volatile state —
+// queued work, and the token if it held one — and discards every message
+// addressed to it until Restart.
+func (a *Algorithm) Crash(i int) {
+	s := a.servers[i]
+	if s.down {
+		return
+	}
+	s.down = true
+	s.epoch++
+}
+
+// Restart implements fault.Cluster: server i comes back from its latest
+// checkpoint (or from the pristine initial model if it never took one)
+// and, after a short grace period, re-engages every client it has not
+// heard from — their updates died with the crash, so without a fresh
+// model their training loops would stay parked forever.
+func (a *Algorithm) Restart(i int) {
+	s := a.servers[i]
+	if !s.down {
+		return
+	}
+	if s.hasCkpt {
+		core, err := RestoreServerCore(s.ckpt, s)
+		if err != nil {
+			panic(fmt.Sprintf("spyker: restart server %d: %v", i, err))
+		}
+		s.core = core
+	} else {
+		s.core = NewServerCore(s.cfg, a.initial, false, s)
+	}
+	s.core.Instrument(s.env.Trace, s.env.Sim.Now)
+	s.down = false
+	s.epoch++
+	clear(s.heardSince)
+	epoch := s.epoch
+	s.env.Sim.Schedule(reengageGrace, func() {
+		if s.down || s.epoch != epoch {
+			return
+		}
+		ids := make([]int, 0, len(s.client))
+		//lint:sorted keys are collected and sorted just below
+		for ci := range s.client {
+			ids = append(ids, ci)
+		}
+		sort.Ints(ids)
+		for _, ci := range ids {
+			if !s.heardSince[ci] {
+				s.core.ReengageClient(ci)
+			}
+		}
+	})
+}
+
+// DropToken implements fault.Cluster: discard the token if server i
+// holds it, reporting whether it did.
+func (a *Algorithm) DropToken(i int) bool {
+	s := a.servers[i]
+	if s.down {
+		return false
+	}
+	return s.core.DropToken()
 }
 
 // ServerParams returns the live parameter vectors of every server model;
@@ -137,6 +324,15 @@ func (s *simServer) ReplyClient(k int, params []float64, age, lr float64) {
 	src := s.env.ServerEndpoint(s.id)
 	dst := s.env.ClientEndpoint(k)
 	c := s.client[k]
+	if s.alg.faultsArmed {
+		// Owned copy instead of a pooled buffer: an injected duplicate
+		// would release the pooled buffer twice, an injected drop never.
+		own := append([]float64(nil), params...)
+		s.env.Net.Send(src, dst, s.env.ModelBytes, geo.ClientServer, func() {
+			c.HandleModel(own, age, lr)
+		})
+		return
+	}
 	buf := s.env.Pool.Get(len(params))
 	buf.CopyFrom(params)
 	s.env.Net.Send(src, dst, s.env.ModelBytes, geo.ClientServer, func() {
@@ -157,6 +353,27 @@ func (s *simServer) ReplyClient(k int, params []float64, age, lr float64) {
 // broadcast carries.
 func (s *simServer) BroadcastModel(params []float64, age float64, bid int, front []int64) {
 	src := s.env.ServerEndpoint(s.id)
+	if s.alg.faultsArmed {
+		// One owned copy shared read-only by every peer delivery; the
+		// pooled countdown protocol is unsound under injected drops and
+		// duplicates (see ReplyClient), so faulty runs let the GC own it.
+		own := append([]float64(nil), params...)
+		frontOwn := append([]int64(nil), front...)
+		uid := obs.RoundUID(s.id, bid)
+		for _, peer := range s.alg.servers {
+			if peer.id == s.id {
+				continue
+			}
+			p := peer
+			dst := s.env.ServerEndpoint(p.id)
+			s.env.Net.SendTraced(src, dst, s.env.ModelBytes, geo.ServerServer, uid, func() {
+				p.submit(s.env.ProcFor(p.id, s.env.Hyper.ProcSpyker), func() {
+					p.core.HandleServerModelTraced(s.id, own, age, bid, frontOwn)
+				})
+			})
+		}
+		return
+	}
 	buf := s.env.Pool.Get(len(params))
 	buf.CopyFrom(params)
 	frontCopy := append([]int64(nil), front...)
@@ -193,7 +410,7 @@ func (s *simServer) BroadcastAge(age float64) {
 		p := peer
 		dst := s.env.ServerEndpoint(p.id)
 		s.env.Net.Send(src, dst, fl.AgeWireBytes, geo.ServerServer, func() {
-			p.queue.Submit(0, func() {
+			p.submit(0, func() {
 				p.core.HandleAge(s.id, age)
 			})
 		})
@@ -208,7 +425,7 @@ func (s *simServer) SendToken(t Token, next int) {
 	peer := s.alg.servers[next]
 	uid := obs.RoundUID(s.id, t.Bid)
 	s.env.Net.SendTraced(src, dst, fl.TokenWireBytes(len(t.Ages)), geo.ServerServer, uid, func() {
-		peer.queue.Submit(0, func() {
+		peer.submit(0, func() {
 			peer.core.HandleToken(t)
 		})
 	})

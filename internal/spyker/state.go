@@ -32,6 +32,14 @@ type State struct {
 	SyncsTriggered int
 	SyncsJoined    int
 
+	// MaxBidSeen and TokenRegens are the token-loss recovery state (see
+	// Config.TokenTimeout): the freshest round bid witnessed and the
+	// number of regenerations performed. Zero in checkpoints written
+	// before the recovery extension — restore then re-derives a safe
+	// MaxBidSeen floor from the held token's bid.
+	MaxBidSeen  int
+	TokenRegens int
+
 	// Frontier is the merged-updates vector clock (causal provenance; see
 	// ServerCore.Frontier). Nil in checkpoints written before the
 	// provenance extension — restore then starts it at zero, which only
@@ -61,6 +69,8 @@ func (s *ServerCore) SnapshotInto(st *State) {
 	st.Total = s.total
 	st.SyncsTriggered = s.syncsTriggered
 	st.SyncsJoined = s.syncsJoined
+	st.MaxBidSeen = s.maxBidSeen
+	st.TokenRegens = s.tokenRegens
 	st.Frontier = append(st.Frontier[:0], s.frontier...)
 	if s.token != nil {
 		if st.Token == nil {
@@ -134,6 +144,13 @@ func RestoreServerCore(st State, out Outbound) (*ServerCore, error) {
 	s.total = st.Total
 	s.syncsTriggered = st.SyncsTriggered
 	s.syncsJoined = st.SyncsJoined
+	s.maxBidSeen = st.MaxBidSeen
+	s.tokenRegens = st.TokenRegens
+	if s.hasToken && s.maxBidSeen < s.token.Bid {
+		// Pre-extension checkpoint: the held token's bid is the best
+		// available floor for the freshest witnessed round.
+		s.maxBidSeen = s.token.Bid
+	}
 	if st.Frontier != nil {
 		if len(st.Frontier) != st.Config.NumServers {
 			return nil, fmt.Errorf("spyker: snapshot frontier length %d != %d servers",

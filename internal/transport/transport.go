@@ -119,6 +119,14 @@ type ConnStats struct {
 	BytesSent, BytesRecv   int64
 }
 
+// Sender is the writable half of a connection — what outboxes and fault
+// injectors need. *Conn implements it; internal/fault wraps one to
+// interpose drop/delay/sever faults between a server and the wire.
+type Sender interface {
+	Send(m *Msg) error
+	Close() error
+}
+
 // Conn is a gob-framed connection. Send is safe for concurrent use;
 // Recv must be driven from a single reader goroutine.
 type Conn struct {
