@@ -97,6 +97,9 @@ var jobs = []job{
 	{"straggler", "straggler-client sensitivity", func(p params) (renderer, error) {
 		return experiments.RunStragglerStudy(p.scale, p.seed)
 	}},
+	{"elastic", "runtime 2->4 server scale-out vs fixed baselines", func(p params) (renderer, error) {
+		return experiments.RunElasticStudy(p.scale, p.seed)
+	}},
 }
 
 // aliases map the paper's sibling figure numbers (loss panels) onto the

@@ -27,6 +27,9 @@
 //	spyker-live -role server -id 0 -addr 127.0.0.1:7070 \
 //	    -peers 127.0.0.1:7070,127.0.0.1:7071 -clients 8 \
 //	    -checkpoint s0.gob -resume -token-timeout 2 -sync-retry 1
+//	# hot-add a third server to the running ring (the sponsor assigns
+//	# its ID and ships model + membership in the join reply):
+//	spyker-live -role server -join 127.0.0.1:7070 -token-timeout 2 -sync-retry 1
 package main
 
 import (
@@ -71,6 +74,7 @@ func main() {
 	tokenTimeout := flag.Float64("token-timeout", 0, "seconds of ring silence before regenerating the token (0 = recovery off)")
 	syncRetry := flag.Float64("sync-retry", 0, "seconds before re-broadcasting a stuck synchronization round (0 = off)")
 	reconnectEvery := flag.Duration("reconnect-every", 500*time.Millisecond, "peer redial period (server role)")
+	join := flag.String("join", "", "join a running ring through the server at this address (server role); the sponsor assigns the ID")
 	flag.Parse()
 
 	var err error
@@ -84,6 +88,7 @@ func main() {
 			seed: *seed, token: *token, ckptPath: *ckptPath, ckptEvery: *ckptEvery,
 			resume: *resume, tokenTimeout: *tokenTimeout, syncRetry: *syncRetry,
 			reconnectEvery: *reconnectEvery, statsEvery: *statsEvery, duration: *duration,
+			join: *join,
 		})
 	case "clients":
 		err = runClients(splitPeers(*peerList), *clients, *seed, *duration)
@@ -149,22 +154,36 @@ type serverOpts struct {
 	reconnectEvery time.Duration
 	statsEvery     time.Duration
 	duration       time.Duration
+	join           string
 }
 
 // runServer hosts exactly one live server in this process — the unit a
 // failure-injection harness kills and restarts.
 func runServer(o serverOpts) error {
 	n := len(o.peers)
-	if n < 1 || o.id < 0 || o.id >= n {
+	if o.join == "" && (n < 1 || o.id < 0 || o.id >= n) {
 		return fmt.Errorf("server role needs -peers with the -id'th entry (got %d peers, id %d)", n, o.id)
 	}
 	if o.addr == "" {
-		o.addr = o.peers[o.id]
+		if o.join != "" {
+			o.addr = "127.0.0.1:0" // the sponsor learns our address from the handshake
+		} else {
+			o.addr = o.peers[o.id]
+		}
 	}
-	factory, _, _, hyper := deployment(o.clients, n, o.seed, o.tokenTimeout, o.syncRetry)
 
 	var srv *live.Server
-	if o.resume {
+	if o.join != "" {
+		// Hot-add: ask the sponsor for admission; identity, model, and
+		// membership all arrive in the join reply.
+		var err error
+		srv, err = live.JoinCluster(o.join, o.addr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("server %d joined the ring via %s (membership %v)\n",
+			srv.ID, o.join, srv.Membership())
+	} else if o.resume {
 		if o.ckptPath == "" {
 			return fmt.Errorf("-resume needs -checkpoint")
 		}
@@ -184,6 +203,7 @@ func runServer(o serverOpts) error {
 		fmt.Printf("server %d resumed from %s (age %.1f, syncs %d)\n",
 			srv.ID, o.ckptPath, st.Age, st.SyncsTriggered)
 	} else {
+		factory, _, _, hyper := deployment(o.clients, n, o.seed, o.tokenTimeout, o.syncRetry)
 		perServer := o.clients / n
 		clientsHere := perServer
 		if o.id == n-1 {
@@ -205,7 +225,12 @@ func runServer(o serverOpts) error {
 		}
 		srv.StartTokenTicker(time.Duration(shortest / 4 * float64(time.Second)))
 	}
-	srv.StartPeerReconnect(o.reconnectEvery, func(peer int) string { return o.peers[peer] })
+	srv.StartPeerReconnect(o.reconnectEvery, func(peer int) string {
+		if peer >= 0 && peer < len(o.peers) {
+			return o.peers[peer]
+		}
+		return "" // joined peers: fall back to the learned address book
+	})
 
 	stop := make(chan struct{})
 	var wg sync.WaitGroup

@@ -488,26 +488,16 @@ func assignServers(s Setup, wl workload, perServer []int, regionOf []geo.Region)
 		if s.SpreadClientRegions {
 			// Nearest server by latency, balanced: among the servers with
 			// the lowest latency from the client's region, pick the least
-			// loaded one.
-			load := make([]int, s.NumServers)
-			for ci := 0; ci < s.NumClients; ci++ {
-				best := -1
-				for si := 0; si < s.NumServers; si++ {
-					if best == -1 {
-						best = si
-						continue
-					}
-					sr := geo.Regions[si%len(geo.Regions)]
-					br := geo.Regions[best%len(geo.Regions)]
-					ls := geo.AWSLatency(regionOf[ci], sr)
-					lb := geo.AWSLatency(regionOf[ci], br)
-					if ls < lb-1e-12 || (ls < lb+1e-12 && load[si] < load[best]) {
-						best = si
-					}
-				}
-				serverOf[ci] = best
-				load[best]++
+			// loaded one (cluster.NearestBalanced, shared with elastic
+			// client re-homing).
+			servers := make([]int, s.NumServers)
+			for si := range servers {
+				servers[si] = si
 			}
+			assign := cluster.NearestBalanced(regionOf[:s.NumClients], servers,
+				func(si int) geo.Region { return geo.Regions[si%len(geo.Regions)] },
+				geo.AWSLatency, nil)
+			copy(serverOf, assign)
 			break
 		}
 		ci := 0

@@ -9,6 +9,7 @@ import (
 	"github.com/spyker-fl/spyker/internal/fault"
 	"github.com/spyker-fl/spyker/internal/fl"
 	"github.com/spyker-fl/spyker/internal/obs"
+	"github.com/spyker-fl/spyker/internal/ring"
 	"github.com/spyker-fl/spyker/internal/spyker"
 )
 
@@ -153,10 +154,10 @@ func TestDESFailoverScenario(t *testing.T) {
 // inspects state, never traffic.
 type nopOutbound struct{}
 
-func (nopOutbound) ReplyClient(int, []float64, float64, float64)    {}
-func (nopOutbound) BroadcastModel([]float64, float64, int, []int64) {}
-func (nopOutbound) BroadcastAge(float64)                            {}
-func (nopOutbound) SendToken(spyker.Token, int)                     {}
+func (nopOutbound) ReplyClient(int, []float64, float64, float64)                     {}
+func (nopOutbound) BroadcastModel([]float64, float64, int, []int64, ring.Membership) {}
+func (nopOutbound) BroadcastAge(float64, ring.Membership)                            {}
+func (nopOutbound) SendToken(spyker.Token, int)                                      {}
 
 // TestCheckpointRestoreEquivalence snapshots a DES server in the middle
 // of a faulty run — mid-synchronization, recovery armed, real traffic in

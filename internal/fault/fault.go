@@ -49,6 +49,17 @@ const (
 	// KindLinkDup duplicates each message on the directed link Src->Dst
 	// with probability P during [At, At+Duration).
 	KindLinkDup
+	// KindJoin adds a new server to the ring at At, sponsored by Server
+	// (or by whichever server holds the token, with the TokenHolder
+	// sentinel): the sponsor hands the newcomer its model plus age
+	// knowledge, bumps the membership epoch, and re-homes part of its
+	// clients. Requires a cluster implementing Elastic.
+	KindJoin
+	// KindLeave removes Server from the ring at At: the token is handed
+	// off or dropped, a survivor announces the epoch bump excluding it,
+	// and its clients re-home to their nearest surviving servers.
+	// Requires a cluster implementing Elastic.
+	KindLeave
 )
 
 // String implements fmt.Stringer.
@@ -66,6 +77,10 @@ func (k Kind) String() string {
 		return "link-drop"
 	case KindLinkDup:
 		return "link-dup"
+	case KindJoin:
+		return "join"
+	case KindLeave:
+		return "leave"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -115,6 +130,14 @@ func (p *Plan) Validate(numServers int) error {
 	if p.CheckpointEvery < 0 {
 		return fmt.Errorf("fault: negative CheckpointEvery %v", p.CheckpointEvery)
 	}
+	// Join events enlarge the server set at runtime, so later events may
+	// legitimately reference IDs past the construction-time count.
+	maxID := numServers
+	for _, e := range p.Events {
+		if e.Kind == KindJoin {
+			maxID++
+		}
+	}
 	for i, e := range p.Events {
 		if e.At < 0 || e.Duration < 0 {
 			return fmt.Errorf("fault: event %d has negative time window (at=%v dur=%v)", i, e.At, e.Duration)
@@ -123,6 +146,10 @@ func (p *Plan) Validate(numServers int) error {
 		case KindCrash, KindTokenDrop:
 			if e.Server != TokenHolder && (e.Server < 0 || e.Server >= numServers) {
 				return fmt.Errorf("fault: event %d targets server %d of %d", i, e.Server, numServers)
+			}
+		case KindJoin, KindLeave:
+			if e.Server != TokenHolder && (e.Server < 0 || e.Server >= maxID) {
+				return fmt.Errorf("fault: event %d targets server %d of at most %d (with joins)", i, e.Server, maxID)
 			}
 		case KindPartition, KindLinkDelay, KindLinkDrop, KindLinkDup:
 			for _, s := range [2]int{e.Src, e.Dst} {

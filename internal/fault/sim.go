@@ -30,6 +30,19 @@ type Cluster interface {
 	DropToken(i int) bool
 }
 
+// Elastic is the optional membership control surface for KindJoin and
+// KindLeave events. A cluster that also implements it can grow and
+// shrink its server ring at runtime; spyker.Algorithm does.
+type Elastic interface {
+	// Join adds a new server sponsored by the given member (falling back
+	// to any live member if it is gone) and returns its stable ID, or -1
+	// when no live sponsor exists.
+	Join(sponsor int) int
+	// Leave removes server target from the ring for good, reporting
+	// whether it was live to remove.
+	Leave(target int) bool
+}
+
 // linkRule is one compiled time-windowed link fault.
 type linkRule struct {
 	kind     Kind
@@ -80,6 +93,13 @@ func NewSimInjector(plan Plan, sim *simulation.Sim, net *geo.Network, cluster Cl
 	if err := plan.Validate(cluster.NumServers()); err != nil {
 		return nil, err
 	}
+	if _, ok := cluster.(Elastic); !ok {
+		for i, e := range plan.Events {
+			if e.Kind == KindJoin || e.Kind == KindLeave {
+				return nil, fmt.Errorf("fault: event %d is %v but the cluster does not support elastic membership", i, e.Kind)
+			}
+		}
+	}
 	return &SimInjector{
 		plan:    plan,
 		sim:     sim,
@@ -117,6 +137,9 @@ func (in *SimInjector) Arm() {
 		case KindTokenDrop:
 			ev := e
 			in.sim.ScheduleAt(ev.At, func() { in.dropToken(ev) })
+		case KindJoin, KindLeave:
+			ev := e
+			in.sim.ScheduleAt(ev.At, func() { in.elastic(ev) })
 		case KindPartition, KindLinkDelay, KindLinkDrop, KindLinkDup:
 			in.rules = append(in.rules, linkRule{
 				kind: e.Kind, src: e.Src, dst: e.Dst,
@@ -178,6 +201,36 @@ func (in *SimInjector) dropToken(e Event) {
 	note := "token-drop"
 	if !held {
 		note = "token-drop-miss"
+	}
+	in.emit(obs.Event{
+		Time: in.sim.Now(), Kind: obs.KindFault,
+		Node: target, Peer: obs.NoPeer, Note: note,
+	})
+}
+
+// elastic applies a membership event (KindJoin/KindLeave). The cluster's
+// Elastic support was verified at construction time.
+func (in *SimInjector) elastic(e Event) {
+	el := in.cluster.(Elastic)
+	target := in.resolve(e.Server)
+	in.injected++
+	var note string
+	switch e.Kind {
+	case KindJoin:
+		newID := el.Join(target)
+		if newID < 0 {
+			note = fmt.Sprintf("join-miss (sponsor %d)", target)
+			target = obs.NoPeer
+		} else {
+			note = fmt.Sprintf("join s%d (sponsor %d)", newID, target)
+			target = newID
+		}
+	case KindLeave:
+		if el.Leave(target) {
+			note = fmt.Sprintf("leave s%d", target)
+		} else {
+			note = fmt.Sprintf("leave-miss s%d", target)
+		}
 	}
 	in.emit(obs.Event{
 		Time: in.sim.Now(), Kind: obs.KindFault,

@@ -64,7 +64,7 @@ func DefaultConfig() *Config {
 			"internal/data", "internal/fl", "internal/simulation",
 			"internal/geo", "internal/spyker", "internal/baselines",
 			"internal/compress", "internal/metrics", "internal/cluster",
-			"internal/fault",
+			"internal/fault", "internal/ring",
 			"internal/lint/testdata/src/determinism",
 		},
 		SinkCallbackPkgs: []string{

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"time"
 
 	"github.com/spyker-fl/spyker/internal/obs"
 	"github.com/spyker-fl/spyker/internal/spyker"
@@ -88,26 +87,14 @@ func NewServerFromCheckpoint(addr string, st spyker.State) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{
-		ID:       st.Config.ID,
-		cfg:      st.Config,
-		listener: l,
-		clients:  make(map[int]*outbox),
-		peers:    make([]*outbox, st.Config.NumServers),
-		conns:    make(map[*transport.Conn]struct{}),
-		clientLR: st.Config.ClientLR,
-		sink:     obs.Nop{},
-		clock:    obs.WallClock(time.Now()),
-		txPeer:   make(map[int]*obs.Counter),
-		rxPeer:   make(map[int]*obs.Counter),
-		stop:     make(chan struct{}),
-	}
+	s := newShell(st.Config.ID, st.Config, l)
 	core, err := spyker.RestoreServerCore(st, (*serverOutbound)(s))
 	if err != nil {
 		_ = l.Close()
 		return nil, err
 	}
 	s.core = core
+	s.memEpoch = core.Epoch()
 	s.updates.Store(int64(sumUpdates(st.Updates)))
 	s.wg.Add(1)
 	go s.acceptLoop()

@@ -7,6 +7,8 @@
 package live
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -14,6 +16,7 @@ import (
 
 	"github.com/spyker-fl/spyker/internal/obs"
 	"github.com/spyker-fl/spyker/internal/paramvec"
+	"github.com/spyker-fl/spyker/internal/ring"
 	"github.com/spyker-fl/spyker/internal/spyker"
 	"github.com/spyker-fl/spyker/internal/transport"
 )
@@ -123,7 +126,18 @@ type Server struct {
 	mu      sync.Mutex // serializes core handlers
 	core    *spyker.ServerCore
 	clients map[int]*outbox
-	peers   []*outbox // indexed by server ID; nil for self
+	peers   map[int]*outbox // keyed by stable server ID; no entry for self
+
+	// addrBook maps stable server IDs to listen addresses, learned from
+	// ConnectPeers, membership headers on incoming frames, and join
+	// handshakes. The reconnect loop falls back to it when its addrOf
+	// callback has no answer (newly joined peers). Guarded by mu.
+	addrBook map[int]string
+
+	// memEpoch is the membership epoch the outbox set was last wired
+	// for; when the core adopts a newer epoch, a background redial pass
+	// reconciles peers with the new ring. Guarded by mu.
+	memEpoch int
 
 	// conns tracks every inbound connection currently being read, so Kill
 	// can sever them without waiting for the remote side.
@@ -168,19 +182,19 @@ type Server struct {
 	closing atomic.Bool
 }
 
-// NewServer creates a live server listening on addr (use "127.0.0.1:0"
-// for an ephemeral port). holdsToken marks the initial token holder.
-func NewServer(id int, addr string, cfg spyker.Config, initial []float64, holdsToken bool) (*Server, error) {
-	l, err := transport.Listen(addr)
-	if err != nil {
-		return nil, err
-	}
+// newShell builds a Server around an already-listening transport
+// listener, without a protocol core; every constructor (fresh,
+// checkpoint-restore, cluster join) shares it. The shell's own address
+// seeds the address book so join replies and membership headers can
+// advertise it.
+func newShell(id int, cfg spyker.Config, l *transport.Listener) *Server {
 	s := &Server{
 		ID:       id,
 		cfg:      cfg,
 		listener: l,
 		clients:  make(map[int]*outbox),
-		peers:    make([]*outbox, cfg.NumServers),
+		peers:    make(map[int]*outbox),
+		addrBook: make(map[int]string),
 		conns:    make(map[*transport.Conn]struct{}),
 		clientLR: cfg.ClientLR,
 		sink:     obs.Nop{},
@@ -189,7 +203,20 @@ func NewServer(id int, addr string, cfg spyker.Config, initial []float64, holdsT
 		rxPeer:   make(map[int]*obs.Counter),
 		stop:     make(chan struct{}),
 	}
+	s.addrBook[id] = l.Addr()
+	return s
+}
+
+// NewServer creates a live server listening on addr (use "127.0.0.1:0"
+// for an ephemeral port). holdsToken marks the initial token holder.
+func NewServer(id int, addr string, cfg spyker.Config, initial []float64, holdsToken bool) (*Server, error) {
+	l, err := transport.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	s := newShell(id, cfg, l)
 	s.core = spyker.NewServerCore(cfg, initial, holdsToken, (*serverOutbound)(s))
+	s.memEpoch = s.core.Epoch()
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -312,6 +339,22 @@ func (s *Server) TokenRegens() int {
 	return s.core.TokenRegens()
 }
 
+// SyncsJoined reports how many synchronization rounds this server has
+// participated in (its own triggers included).
+func (s *Server) SyncsJoined() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.core.SyncsJoined()
+}
+
+// Membership returns a snapshot of this server's current view of the
+// ring (epoch and member IDs).
+func (s *Server) Membership() ring.Membership {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.core.Membership().Clone()
+}
+
 // Params returns a snapshot of the server model.
 func (s *Server) Params() []float64 {
 	s.mu.Lock()
@@ -337,20 +380,34 @@ func (s *Server) ConnectPeers(addrs []string) error {
 		if id == s.ID {
 			continue
 		}
-		conn, err := transport.Dial(addr)
+		ob, err := s.dialPeer(id, addr)
 		if err != nil {
 			return fmt.Errorf("live: server %d -> %d: %w", s.ID, id, err)
 		}
-		if err := conn.Send(&transport.Msg{Kind: transport.KindHello, From: s.ID, Bid: RoleServer}); err != nil {
-			return err
-		}
-		var sender transport.Sender = conn
-		if s.peerWrap != nil {
-			sender = s.peerWrap(id, sender)
-		}
-		s.peers[id] = newOutbox(sender, s.peerDelay)
+		s.mu.Lock()
+		s.addrBook[id] = addr
+		s.peers[id] = ob
+		s.mu.Unlock()
 	}
 	return nil
+}
+
+// dialPeer dials a peer, sends the server hello, and wraps the
+// connection per SetPeerWrapper. The caller installs the outbox.
+func (s *Server) dialPeer(id int, addr string) (*outbox, error) {
+	conn, err := transport.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := conn.Send(&transport.Msg{Kind: transport.KindHello, From: s.ID, Bid: RoleServer}); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	var sender transport.Sender = conn
+	if s.peerWrap != nil {
+		sender = s.peerWrap(id, sender)
+	}
+	return newOutbox(sender, s.peerDelay), nil
 }
 
 // SetPeerWrapper installs a hook applied to every peer connection this
@@ -415,36 +472,51 @@ func (s *Server) StartPeerReconnect(every time.Duration, addrOf func(id int) str
 	}()
 }
 
+// redialFailedPeers reconciles the outbox set with the current
+// membership: members whose link has failed (or was never dialed) are
+// redialed — via addrOf when it answers, falling back to the address
+// book learned from membership headers — and outboxes of servers no
+// longer in the ring are flushed and dropped. addrOf may be nil.
 func (s *Server) redialFailedPeers(addrOf func(id int) string) {
 	var stale []int
+	var dead []*outbox
 	s.mu.Lock()
-	for id, p := range s.peers {
+	mem := s.core.Membership().Clone()
+	for _, id := range mem.Members {
 		if id == s.ID {
 			continue
 		}
-		if p == nil || p.failed.Load() {
+		if p := s.peers[id]; p == nil || p.failed.Load() {
 			stale = append(stale, id)
 		}
 	}
+	for id, p := range s.peers {
+		if !mem.Contains(id) {
+			dead = append(dead, p)
+			delete(s.peers, id)
+		}
+	}
 	s.mu.Unlock()
+	for _, p := range dead {
+		p.beginClose()
+	}
 	for _, id := range stale {
-		addr := addrOf(id)
+		var addr string
+		if addrOf != nil {
+			addr = addrOf(id)
+		}
+		if addr == "" {
+			s.mu.Lock()
+			addr = s.addrBook[id]
+			s.mu.Unlock()
+		}
 		if addr == "" {
 			continue
 		}
-		conn, err := transport.Dial(addr)
+		ob, err := s.dialPeer(id, addr)
 		if err != nil {
 			continue // peer still down; try again next period
 		}
-		if err := conn.Send(&transport.Msg{Kind: transport.KindHello, From: s.ID, Bid: RoleServer}); err != nil {
-			_ = conn.Close()
-			continue
-		}
-		var sender transport.Sender = conn
-		if s.peerWrap != nil {
-			sender = s.peerWrap(id, sender)
-		}
-		ob := newOutbox(sender, s.peerDelay)
 		s.mu.Lock()
 		if s.closing.Load() {
 			s.mu.Unlock()
@@ -567,7 +639,17 @@ func (s *Server) readLoop(conn *transport.Conn) {
 		s.mu.Unlock()
 	}()
 	hello, err := conn.Recv()
-	if err != nil || hello.Kind != transport.KindHello {
+	if err != nil {
+		_ = conn.Close()
+		return
+	}
+	if hello.Kind == transport.KindJoinRequest {
+		// One-shot sponsorship handshake instead of a hello: admit the
+		// joiner, reply with its identity and snapshot, and close.
+		s.handleJoin(conn, hello)
+		return
+	}
+	if hello.Kind != transport.KindHello {
 		_ = conn.Close()
 		return
 	}
@@ -592,6 +674,105 @@ func (s *Server) readLoop(conn *transport.Conn) {
 		}
 		s.dispatch(&m)
 	}
+}
+
+// handleJoin sponsors one joiner into the ring: it assigns the next
+// stable ID, admits it through the core (epoch bump plus membership
+// announcement ride out on the age broadcast), records its address, and
+// replies with the assigned ID, the new membership, the address book,
+// and a gob-encoded state snapshot re-keyed for the newcomer. The
+// connection is one-shot: the joiner dials members itself afterwards.
+func (s *Server) handleJoin(conn *transport.Conn, req *transport.Msg) {
+	defer func() { _ = conn.Close() }()
+	if len(req.Addrs) != 1 || req.Addrs[0] == "" {
+		return
+	}
+	s.mu.Lock()
+	if s.closing.Load() {
+		s.mu.Unlock()
+		return
+	}
+	newID := s.core.Membership().NextID()
+	st, err := s.core.AdmitMember(newID)
+	if err != nil {
+		s.mu.Unlock()
+		return
+	}
+	s.addrBook[newID] = req.Addrs[0]
+	s.noteRecv(obs.ServerNode+newID, req)
+	mem := s.core.Membership().Clone()
+	addrs := s.addrsFor(mem.Members)
+	s.maybeRewire() // dial the newcomer once it is listening
+	s.mu.Unlock()
+
+	var blob bytes.Buffer
+	if err := gob.NewEncoder(&blob).Encode(&st); err != nil {
+		return
+	}
+	reply := &transport.Msg{
+		Kind: transport.KindJoinReply, From: s.ID, Bid: newID,
+		Epoch: mem.Epoch, Members: mem.Members, Addrs: addrs,
+		Blob: blob.Bytes(),
+	}
+	s.mu.Lock()
+	s.noteSend(obs.ServerNode+newID, reply)
+	s.mu.Unlock()
+	_ = conn.Send(reply)
+}
+
+// JoinCluster starts a new live server by joining a running ring: it
+// listens on listenAddr, asks the sponsor at sponsorAddr for admission,
+// and boots from the state snapshot in the reply — model, age
+// knowledge, and membership included. The sponsor assigns the stable
+// ID; the joiner then dials every current member.
+func JoinCluster(sponsorAddr, listenAddr string) (*Server, error) {
+	l, err := transport.Listen(listenAddr)
+	if err != nil {
+		return nil, err
+	}
+	fail := func(err error) (*Server, error) {
+		_ = l.Close()
+		return nil, err
+	}
+	conn, err := transport.Dial(sponsorAddr)
+	if err != nil {
+		return fail(err)
+	}
+	req := &transport.Msg{Kind: transport.KindJoinRequest, Addrs: []string{l.Addr()}}
+	if err := conn.Send(req); err != nil {
+		_ = conn.Close()
+		return fail(err)
+	}
+	reply, err := conn.Recv()
+	_ = conn.Close()
+	if err != nil {
+		return fail(err)
+	}
+	if reply.Kind != transport.KindJoinReply || len(reply.Blob) == 0 {
+		return fail(fmt.Errorf("live: join: unexpected reply %v", reply.Kind))
+	}
+	var st spyker.State
+	if err := gob.NewDecoder(bytes.NewReader(reply.Blob)).Decode(&st); err != nil {
+		return fail(fmt.Errorf("live: join: decode snapshot: %w", err))
+	}
+	s := newShell(st.Config.ID, st.Config, l)
+	core, err := spyker.RestoreServerCore(st, (*serverOutbound)(s))
+	if err != nil {
+		return fail(err)
+	}
+	s.core = core
+	s.memEpoch = core.Epoch()
+	if len(reply.Addrs) == len(reply.Members) {
+		for i, id := range reply.Members {
+			if a := reply.Addrs[i]; a != "" && id != s.ID {
+				s.addrBook[id] = a
+			}
+		}
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	s.redialFailedPeers(nil) // dial every current member
+	return s, nil
 }
 
 func (s *Server) registerClient(id int, conn *transport.Conn) {
@@ -637,14 +818,57 @@ func (s *Server) dispatch(m *transport.Msg) {
 		s.updates.Add(1)
 	case transport.KindServerModel:
 		s.noteRecv(obs.ServerNode+m.From, m)
-		s.core.HandleServerModelTraced(m.From, m.Params, m.Age, m.Bid, m.Trace.Front)
+		s.absorbHeader(m)
+		s.core.HandleServerModelTraced(m.From, m.Params, m.Age, m.Bid, m.Trace.Front,
+			ring.Membership{Epoch: m.Epoch, Members: m.Members})
+		s.maybeRewire()
 	case transport.KindAge:
 		s.noteRecv(obs.ServerNode+m.From, m)
-		s.core.HandleAge(m.From, m.Age)
+		s.absorbHeader(m)
+		s.core.HandleAgeTagged(m.From, m.Age, ring.Membership{Epoch: m.Epoch, Members: m.Members})
+		s.maybeRewire()
 	case transport.KindToken:
 		s.noteRecv(obs.ServerNode+m.From, m)
-		s.core.HandleToken(spyker.Token{Bid: m.Bid, Ages: m.Ages})
+		s.absorbHeader(m)
+		s.core.HandleToken(spyker.Token{
+			Bid: m.Bid, Ages: m.Ages,
+			Mem: ring.Membership{Epoch: m.Epoch, Members: m.Members},
+		})
+		s.maybeRewire()
 	}
+}
+
+// absorbHeader learns peer addresses riding on a frame's elastic
+// membership header (Addrs aligned with Members). Caller holds s.mu.
+func (s *Server) absorbHeader(m *transport.Msg) {
+	if len(m.Addrs) != len(m.Members) {
+		return
+	}
+	for i, id := range m.Members {
+		if a := m.Addrs[i]; a != "" && id != s.ID {
+			s.addrBook[id] = a
+		}
+	}
+}
+
+// maybeRewire reacts to a membership epoch the core adopted during the
+// handler that just ran: the outbox set must follow the ring, so a
+// background pass dials newly admitted members and drops departed ones.
+// Caller holds s.mu.
+func (s *Server) maybeRewire() {
+	e := s.core.Epoch()
+	if e == s.memEpoch {
+		return
+	}
+	s.memEpoch = e
+	if s.closing.Load() {
+		return
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.redialFailedPeers(nil)
+	}()
 }
 
 // serverOutbound adapts Server to spyker.Outbound. All methods run with
@@ -670,12 +894,26 @@ func (o *serverOutbound) ReplyClient(k int, params []float64, age, lr float64) {
 	}
 }
 
-func (o *serverOutbound) BroadcastModel(params []float64, age float64, bid int, front []int64) {
+// addrsFor renders the address book aligned with members (empty string
+// where unknown); the slice is shared read-only by every frame of one
+// broadcast. Caller holds s.mu.
+func (s *Server) addrsFor(members []int) []string {
+	addrs := make([]string, len(members))
+	for i, id := range members {
+		addrs[i] = s.addrBook[id]
+	}
+	return addrs
+}
+
+func (o *serverOutbound) BroadcastModel(params []float64, age float64, bid int, front []int64, mem ring.Membership) {
 	s := (*Server)(o)
 	// front is a borrow of the core's live frontier and the outboxes encode
 	// asynchronously, so snapshot it once here; the copy is shared by every
-	// frame (outboxes only read it for gob encoding).
+	// frame (outboxes only read it for gob encoding). mem.Members is safe
+	// to share un-copied: ring.Membership slices are never mutated in
+	// place (membership changes allocate fresh slices).
 	frontCopy := append([]int64(nil), front...)
+	addrs := s.addrsFor(mem.Members)
 	uid := obs.RoundUID(o.ID, bid)
 	for id, p := range o.peers {
 		if p == nil || id == o.ID {
@@ -689,18 +927,23 @@ func (o *serverOutbound) BroadcastModel(params []float64, age float64, bid int, 
 			Kind: transport.KindServerModel, From: o.ID,
 			Params: buf, Age: age, Bid: bid,
 			Trace: transport.Trace{UID: uid, Front: frontCopy},
+			Epoch: mem.Epoch, Members: mem.Members, Addrs: addrs,
 		}
 		s.noteSend(obs.ServerNode+id, m)
 		p.enqueueRelease(m, func() { s.pool.Put(buf) })
 	}
 }
 
-func (o *serverOutbound) BroadcastAge(age float64) {
+func (o *serverOutbound) BroadcastAge(age float64, mem ring.Membership) {
+	addrs := (*Server)(o).addrsFor(mem.Members)
 	for id, p := range o.peers {
 		if p == nil || id == o.ID {
 			continue
 		}
-		m := &transport.Msg{Kind: transport.KindAge, From: o.ID, Age: age}
+		m := &transport.Msg{
+			Kind: transport.KindAge, From: o.ID, Age: age,
+			Epoch: mem.Epoch, Members: mem.Members, Addrs: addrs,
+		}
 		(*Server)(o).noteSend(obs.ServerNode+id, m)
 		p.enqueue(m)
 	}
@@ -711,6 +954,8 @@ func (o *serverOutbound) SendToken(t spyker.Token, next int) {
 		m := &transport.Msg{
 			Kind: transport.KindToken, From: o.ID, Bid: t.Bid, Ages: t.Ages,
 			Trace: transport.Trace{UID: obs.RoundUID(o.ID, t.Bid)},
+			Epoch: t.Mem.Epoch, Members: t.Mem.Members,
+			Addrs: (*Server)(o).addrsFor(t.Mem.Members),
 		}
 		(*Server)(o).noteSend(obs.ServerNode+next, m)
 		p.enqueue(m)

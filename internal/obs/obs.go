@@ -70,6 +70,11 @@ const (
 	// higher-bid round (Note "superseded"), or an injected drop (Note
 	// "injected-drop"). Bid = the retired token's bid.
 	KindTokenRetire
+	// KindMembership fires when a server adopts a new ring membership
+	// epoch (elastic membership). Node = adopting server, Bid = the new
+	// epoch, Note = why ("admit", "exclude", or "observed" for epochs
+	// learned from message headers).
+	KindMembership
 )
 
 // kindNames maps kinds to their stable wire names (used in JSONL traces).
@@ -85,6 +90,7 @@ var kindNames = map[EventKind]string{
 	KindFault:        "fault",
 	KindTokenRegen:   "token-regen",
 	KindTokenRetire:  "token-retire",
+	KindMembership:   "membership",
 }
 
 // kindByName is the inverse of kindNames, built once at init.

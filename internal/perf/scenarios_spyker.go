@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"github.com/spyker-fl/spyker/internal/ring"
 	"github.com/spyker-fl/spyker/internal/spyker"
 )
 
@@ -11,10 +12,10 @@ import (
 // scenario measures the protocol math itself, not a transport.
 type nopOutbound struct{}
 
-func (nopOutbound) ReplyClient(int, []float64, float64, float64)    {}
-func (nopOutbound) BroadcastModel([]float64, float64, int, []int64) {}
-func (nopOutbound) BroadcastAge(float64)                            {}
-func (nopOutbound) SendToken(spyker.Token, int)                     {}
+func (nopOutbound) ReplyClient(int, []float64, float64, float64)                     {}
+func (nopOutbound) BroadcastModel([]float64, float64, int, []int64, ring.Membership) {}
+func (nopOutbound) BroadcastAge(float64, ring.Membership)                            {}
+func (nopOutbound) SendToken(spyker.Token, int)                                      {}
 
 func init() {
 	// The client-update hot path: staleness-weighted merge plus reply.
@@ -56,7 +57,7 @@ func init() {
 		Setup: func() (Instance, error) {
 			const n = 4
 			const hInter = 10.0
-			ring := &ringMail{}
+			mail := &ringMail{}
 			rng := rand.New(rand.NewSource(8))
 			for i := 0; i < n; i++ {
 				cfg := spyker.Config{
@@ -65,24 +66,24 @@ func init() {
 					HInter: hInter, HIntra: 1e18,
 					ClientLR: 0.05,
 				}
-				ring.cores = append(ring.cores,
-					spyker.NewServerCore(cfg, randVec(rng, modelDim), i == 0, &mailOutbound{ring: ring, id: i}))
+				mail.cores = append(mail.cores,
+					spyker.NewServerCore(cfg, randVec(rng, modelDim), i == 0, &mailOutbound{ring: mail, id: i}))
 			}
 			rounds := 0
 			return Instance{
 				Step: func() {
-					holder := ring.holder()
+					holder := mail.holder()
 					// Feigning a drifted peer age trips the h_inter
 					// trigger; the round's own direct reports overwrite it
 					// with the true ages, so exactly one round runs.
-					peer := (holderID(ring) + 1) % n
+					peer := (holderID(mail) + 1) % n
 					holder.HandleAge(peer, holder.Age()+hInter+1)
-					ring.pump()
+					mail.pump()
 					rounds++
 				},
 				Extras: func() map[string]float64 {
 					syncs := 0
-					for _, c := range ring.cores {
+					for _, c := range mail.cores {
 						syncs += c.SyncsTriggered()
 					}
 					return map[string]float64{
@@ -128,7 +129,8 @@ func (r *ringMail) pump() {
 // mailOutbound implements spyker.Outbound by enqueueing deliveries into
 // the shared mailbox. Params and frontier are borrows of the sender's
 // live state (Outbound contract), so they are copied at send time exactly
-// like a real transport would.
+// like a real transport would. The membership passes through uncopied,
+// like the DES does: ring.Membership slices are immutable by contract.
 type mailOutbound struct {
 	ring *ringMail
 	id   int
@@ -138,7 +140,7 @@ var _ spyker.Outbound = (*mailOutbound)(nil)
 
 func (o *mailOutbound) ReplyClient(int, []float64, float64, float64) {}
 
-func (o *mailOutbound) BroadcastModel(params []float64, age float64, bid int, front []int64) {
+func (o *mailOutbound) BroadcastModel(params []float64, age float64, bid int, front []int64, mem ring.Membership) {
 	p := append([]float64(nil), params...)
 	f := append([]int64(nil), front...)
 	from := o.id
@@ -148,12 +150,12 @@ func (o *mailOutbound) BroadcastModel(params []float64, age float64, bid int, fr
 		}
 		j := j
 		o.ring.queue = append(o.ring.queue, func() {
-			o.ring.cores[j].HandleServerModelTraced(from, p, age, bid, f)
+			o.ring.cores[j].HandleServerModelTraced(from, p, age, bid, f, mem)
 		})
 	}
 }
 
-func (o *mailOutbound) BroadcastAge(age float64) {
+func (o *mailOutbound) BroadcastAge(age float64, mem ring.Membership) {
 	from := o.id
 	for j := range o.ring.cores {
 		if j == from {
@@ -161,7 +163,7 @@ func (o *mailOutbound) BroadcastAge(age float64) {
 		}
 		j := j
 		o.ring.queue = append(o.ring.queue, func() {
-			o.ring.cores[j].HandleAge(from, age)
+			o.ring.cores[j].HandleAgeTagged(from, age, mem)
 		})
 	}
 }

@@ -13,14 +13,20 @@ import (
 
 	"github.com/spyker-fl/spyker/internal/obs"
 	"github.com/spyker-fl/spyker/internal/paramvec"
+	"github.com/spyker-fl/spyker/internal/ring"
 	"github.com/spyker-fl/spyker/internal/tensor"
 )
 
 // Token is the circulating token of Alg. 2. It carries a synchronization
-// ID (bid) and the freshest known age of every server model.
+// ID (bid), the freshest known age of every server model, and — the
+// elastic-membership extension — the ring membership the sender believed
+// in, so a token pass (or a regenerated token) also propagates membership
+// changes. Mem is the zero Membership on tokens from legacy senders and
+// checkpoints; receivers ignore it then.
 type Token struct {
 	Bid  int
 	Ages []float64
+	Mem  ring.Membership
 }
 
 // Outbound is everything a ServerCore needs to talk to the outside world.
@@ -41,12 +47,15 @@ type Outbound interface {
 	// the sender's merged-updates frontier at broadcast time — the causal
 	// provenance the receiver max-merges so update lineage is traceable
 	// end to end; like params it is a borrow valid only for the duration
-	// of the call.
-	BroadcastModel(params []float64, age float64, bid int, front []int64)
+	// of the call. mem is the sender's current ring membership, attached
+	// to the message header so receivers converge on the freshest epoch;
+	// unlike params and front it may be aliased after the call returns
+	// (Membership slices are immutable by the ring package's contract).
+	BroadcastModel(params []float64, age float64, bid int, front []int64, mem ring.Membership)
 	// BroadcastAge announces this server's model age to every other
 	// server so the token holder can trigger a synchronization
-	// (Alg. 2 l. 29).
-	BroadcastAge(age float64)
+	// (Alg. 2 l. 29). mem rides the header like on BroadcastModel.
+	BroadcastAge(age float64, mem ring.Membership)
 	// SendToken forwards the token to the next server on the ring
 	// (Alg. 2 l. 41).
 	SendToken(t Token, next int)
@@ -113,11 +122,19 @@ type ServerCore struct {
 	cfg Config
 	out Outbound
 
+	// mem is the ring membership this server currently believes in (the
+	// elastic-membership extension). Per-server state below (ages,
+	// frontier) is indexed by stable server ID and sized mem.Slots();
+	// the arrays only ever grow across epoch changes — a departed
+	// member's slot keeps its last value, so carried-over ages and
+	// frontiers never need re-indexing.
+	mem ring.Membership
+
 	w       []float64
 	age     float64
 	agePrev float64
 
-	ages             []float64 // freshest known age per server
+	ages             []float64 // freshest known age per server (by stable ID)
 	token            *Token
 	hasToken         bool
 	ongoingSynchro   bool
@@ -177,22 +194,36 @@ type ServerCore struct {
 	clock obs.Clock
 }
 
-// NewServerCore creates a server with the given initial model. If
-// holdsToken is true the server starts as the token holder with bid 1
-// (paper: the token initially resides at one randomly chosen server).
+// NewServerCore creates a server with the given initial model on the
+// fixed construction-time ring 0..NumServers-1 at epoch 0. If holdsToken
+// is true the server starts as the token holder with bid 1 (paper: the
+// token initially resides at one randomly chosen server).
 func NewServerCore(cfg Config, initial []float64, holdsToken bool, out Outbound) *ServerCore {
 	if cfg.NumServers <= 0 || cfg.ID < 0 || cfg.ID >= cfg.NumServers {
 		panic(fmt.Sprintf("spyker: bad server id %d of %d", cfg.ID, cfg.NumServers))
 	}
+	return newServerCore(cfg, ring.Fixed(cfg.NumServers), initial, holdsToken, out)
+}
+
+// newServerCore creates a server on an arbitrary ring membership — the
+// elastic path used by checkpoint restore and runtime joins, where the
+// server's stable ID need not lie in 0..NumServers-1 as long as it is a
+// ring member.
+func newServerCore(cfg Config, mem ring.Membership, initial []float64, holdsToken bool, out Outbound) *ServerCore {
+	if !mem.Contains(cfg.ID) {
+		panic(fmt.Sprintf("spyker: server %d not a member of %s", cfg.ID, mem))
+	}
 	if cfg.MinAgeGapForAgeBroadcast <= 0 {
 		cfg.MinAgeGapForAgeBroadcast = 1
 	}
+	slots := mem.Slots()
 	s := &ServerCore{
 		cfg:          cfg,
 		out:          out,
+		mem:          mem.Clone(),
 		w:            tensor.Clone(initial),
-		ages:         make([]float64, cfg.NumServers),
-		frontier:     make([]int64, cfg.NumServers),
+		ages:         make([]float64, slots),
+		frontier:     make([]int64, slots),
 		didBroadcast: make(map[int]bool),
 		cnt:          make(map[int]int),
 		updates:      make(map[int]int),
@@ -201,7 +232,7 @@ func NewServerCore(cfg Config, initial []float64, holdsToken bool, out Outbound)
 		clock:        zeroClock,
 	}
 	if holdsToken {
-		s.token = &Token{Bid: 1, Ages: make([]float64, cfg.NumServers)}
+		s.token = &Token{Bid: 1, Ages: make([]float64, slots), Mem: s.mem}
 		s.hasToken = true
 		s.maxBidSeen = 1
 	}
@@ -246,6 +277,164 @@ func (s *ServerCore) SyncsJoined() int { return s.syncsJoined }
 
 // UpdatesFrom reports how many updates client k has contributed.
 func (s *ServerCore) UpdatesFrom(k int) int { return s.updates[k] }
+
+// Membership returns the ring membership this server currently believes
+// in. The returned value is a borrow: callers must not mutate its
+// Members slice (the ring package's immutability contract makes reading
+// it safe even while the core adopts newer epochs, because adoption
+// replaces the slice rather than mutating it).
+func (s *ServerCore) Membership() ring.Membership { return s.mem }
+
+// Epoch returns the membership epoch this server currently believes in.
+func (s *ServerCore) Epoch() int { return s.mem.Epoch }
+
+// SetNumClients updates the client count that feeds the decay average —
+// the elastic runtime re-homes clients between servers, and the decay
+// rule should track the population a server actually serves.
+func (s *ServerCore) SetNumClients(n int) { s.cfg.NumClients = n }
+
+// growTo extends the per-server state arrays to at least n slots. They
+// never shrink: a departed member's slot keeps its last age/frontier
+// value, which is exactly what carry-over across epochs requires.
+func (s *ServerCore) growTo(n int) {
+	for len(s.ages) < n {
+		s.ages = append(s.ages, 0)
+	}
+	for len(s.frontier) < n {
+		s.frontier = append(s.frontier, 0)
+	}
+}
+
+// observeMembership folds a membership header from any inbound message
+// into this server's belief: strictly fresher ones (ring.Compare order)
+// are adopted, everything else — including the zero header of legacy
+// senders — is ignored.
+func (s *ServerCore) observeMembership(mem ring.Membership) {
+	if ring.Compare(mem, s.mem) > 0 {
+		s.adoptMembership(mem, "observed")
+	}
+}
+
+// adoptMembership installs a fresher ring membership. The per-server
+// arrays grow to the new slot count (carry-over: existing ages and
+// frontier entries keep their slots), the silence detector counts the
+// adoption as fresh ring activity, and two ring-shape consequences are
+// applied immediately: a server that finds itself excluded retires any
+// token it holds (it is no longer allowed to broker rounds), and a
+// holder whose in-progress round already has enough broadcasts under
+// the shrunken ring completes it on the spot — the departed member's
+// missing broadcast must not stall the round until SyncRetry.
+func (s *ServerCore) adoptMembership(mem ring.Membership, note string) {
+	s.mem = mem.Clone() // wire headers alias transport buffers; own it
+	s.growTo(s.mem.Slots())
+	s.ringSeq++
+	if s.sink.Enabled() {
+		s.sink.Emit(obs.Event{
+			Time: s.clock(), Kind: obs.KindMembership,
+			Node: s.cfg.ID, Peer: obs.NoPeer, Bid: s.mem.Epoch, Note: note,
+		})
+	}
+	if !s.mem.Contains(s.cfg.ID) {
+		if s.hasToken {
+			if s.sink.Enabled() {
+				s.sink.Emit(obs.Event{
+					Time: s.clock(), Kind: obs.KindTokenRetire,
+					Node: s.cfg.ID, Peer: obs.NoPeer, Bid: s.token.Bid, Note: "excluded",
+				})
+			}
+			s.token = nil
+			s.hasToken = false
+			s.ongoingSynchro = false
+		}
+		return
+	}
+	if s.hasToken && s.ongoingSynchro && s.cnt[s.token.Bid] >= s.mem.Count() {
+		s.forwardToken()
+	}
+}
+
+// AdmitMember adds newID to the ring (epoch bump, broadcast to the
+// current members) and returns the State a new server with that ID
+// should bootstrap from: this server's model, age knowledge and frontier,
+// re-keyed to the joiner's identity with the per-identity protocol state
+// (token, round participation, client counters) cleared. Admitting an
+// existing member is idempotent — no epoch bump, just a fresh snapshot.
+func (s *ServerCore) AdmitMember(newID int) (State, error) {
+	if newID < 0 {
+		return State{}, fmt.Errorf("spyker: admit negative server ID %d", newID)
+	}
+	if !s.mem.Contains(newID) {
+		s.adoptMembership(s.mem.WithMember(newID), "admit")
+		// Announce the new ring to the current members right away; the
+		// age header is the cheapest membership carrier.
+		s.lastAgeBroadcast = s.age
+		s.out.BroadcastAge(s.age, s.mem)
+	}
+	var st State
+	s.SnapshotInto(&st)
+	st.Config.ID = newID
+	st.Config.NumServers = s.mem.Slots()
+	st.Config.NumClients = 0
+	st.Ages[newID] = st.Age // the joiner starts with this model, at its age
+	st.Token = nil
+	st.OngoingSynchro = false
+	// DidBroadcast and Cnt are cleared rather than copied: membership
+	// adoption grows the completion target of in-flight rounds, so the
+	// joiner must be free to broadcast into a round the sponsor already
+	// served — inheriting the sponsor's dedup set would stall such rounds
+	// until SyncRetry.
+	st.DidBroadcast = nil
+	st.Cnt = nil
+	st.Updates = nil
+	st.Total = 0
+	st.SyncsTriggered = 0
+	st.SyncsJoined = 0
+	st.TokenRegens = 0
+	return st, nil
+}
+
+// ExcludeMember removes id from the ring (epoch bump, broadcast to the
+// survivors). Call it on any surviving member after a leave or an
+// unrecoverable crash; excluding a non-member is a no-op. The excluded
+// server may keep running — once the new epoch reaches it, it retires
+// any token it holds and stops participating in rounds.
+func (s *ServerCore) ExcludeMember(id int) {
+	if !s.mem.Contains(id) {
+		return
+	}
+	s.adoptMembership(s.mem.WithoutMember(id), "exclude")
+	s.lastAgeBroadcast = s.age
+	s.out.BroadcastAge(s.age, s.mem)
+}
+
+// YieldToken gracefully hands a held, idle token to the ring successor —
+// the leave path: a server about to depart passes the token on instead
+// of forcing the survivors through a TokenTimeout regeneration. It
+// reports whether the token was sent; a holder mid-synchronization (or a
+// singleton ring) returns false, and the caller falls back to DropToken
+// plus timeout recovery.
+func (s *ServerCore) YieldToken() bool {
+	if !s.hasToken || s.ongoingSynchro {
+		return false
+	}
+	next := s.mem.Successor(s.cfg.ID)
+	if next == s.cfg.ID {
+		return false
+	}
+	t := *s.token
+	t.Ages = tensor.Clone(s.ages)
+	t.Mem = s.mem
+	s.token = nil
+	s.hasToken = false
+	if s.sink.Enabled() {
+		s.sink.Emit(obs.Event{
+			Time: s.clock(), Kind: obs.KindTokenPass,
+			Node: s.cfg.ID, Peer: next, Bid: t.Bid, Note: "yield",
+		})
+	}
+	s.out.SendToken(t, next)
+	return true
+}
 
 // Frontier returns a copy of the merged-updates vector clock: entry i is
 // the number of client updates first merged at server i whose influence
@@ -452,6 +641,19 @@ func (s *ServerCore) decayedRate(k int) float64 {
 
 // HandleAge processes an age announcement from server j (Alg. 2 RcvAge).
 func (s *ServerCore) HandleAge(j int, age float64) {
+	s.HandleAgeTagged(j, age, ring.Membership{})
+}
+
+// HandleAgeTagged is HandleAge carrying the sender's membership header
+// (zero from legacy senders). The header is observed first, so an age
+// announcement from a just-joined server both grows the local arrays
+// and installs the new epoch before the age lands.
+func (s *ServerCore) HandleAgeTagged(j int, age float64, mem ring.Membership) {
+	s.observeMembership(mem)
+	if j < 0 {
+		return
+	}
+	s.growTo(j + 1)
 	s.ages[j] = age
 	s.checkSynchronization()
 }
@@ -470,6 +672,11 @@ func (s *ServerCore) HandleAge(j int, age float64) {
 // maxBidSeen, so the incoming bid is always maxBidSeen+1.
 func (s *ServerCore) HandleToken(t Token) {
 	s.ringSeq++
+	// The membership header is observed before the bid dedup: even a
+	// stale token's ring knowledge may be fresher than ours, and an
+	// excluded receiver must learn of its exclusion no matter which
+	// token incarnation brings the news.
+	s.observeMembership(t.Mem)
 	if t.Bid+1 <= s.maxBidSeen {
 		if s.sink.Enabled() {
 			s.sink.Emit(obs.Event{
@@ -479,13 +686,33 @@ func (s *ServerCore) HandleToken(t Token) {
 		}
 		return
 	}
+	if !s.mem.Contains(s.cfg.ID) {
+		// This server has been excluded from the ring (the token itself
+		// may have brought the news). It must not broker rounds, but
+		// dropping the token would stall the survivors until a
+		// TokenTimeout regeneration — so relay it unchanged to the ring
+		// successor, which also carries the exclusion epoch forward.
+		next := s.mem.Successor(s.cfg.ID)
+		if next == s.cfg.ID {
+			return
+		}
+		t.Mem = s.mem
+		if s.sink.Enabled() {
+			s.sink.Emit(obs.Event{
+				Time: s.clock(), Kind: obs.KindTokenPass,
+				Node: s.cfg.ID, Peer: next, Bid: t.Bid, Note: "relay-excluded",
+			})
+		}
+		s.out.SendToken(t, next)
+		return
+	}
 	if s.hasToken {
 		// The incoming token outbids ours (a regenerated token overtaking
 		// a dormant survivor): ours retires, the higher bid wins.
 		s.retireOwnToken()
 	}
 	for j, a := range t.Ages {
-		if j != s.cfg.ID {
+		if j != s.cfg.ID && j < len(s.ages) {
 			s.ages[j] = a
 		}
 	}
@@ -542,7 +769,12 @@ func (s *ServerCore) DropToken() bool {
 // TokenTimeout and SyncRetry zero, the default) it returns immediately
 // and allocates nothing.
 func (s *ServerCore) Tick(now float64) {
-	if (s.cfg.TokenTimeout <= 0 && s.cfg.SyncRetry <= 0) || s.cfg.NumServers <= 1 {
+	if s.cfg.TokenTimeout <= 0 && s.cfg.SyncRetry <= 0 {
+		return
+	}
+	// A singleton ring has no peers to recover with, and an excluded
+	// server has no business regenerating the ring's token.
+	if s.mem.Count() <= 1 || !s.mem.Contains(s.cfg.ID) {
 		return
 	}
 	if s.cfg.SyncRetry > 0 {
@@ -564,7 +796,7 @@ func (s *ServerCore) Tick(now float64) {
 						Node: s.cfg.ID, Peer: obs.NoPeer, Bid: s.token.Bid, Note: "retry",
 					})
 				}
-				s.out.BroadcastModel(s.w, s.age, s.token.Bid, s.frontier)
+				s.out.BroadcastModel(s.w, s.age, s.token.Bid, s.frontier, s.mem)
 			}
 		} else {
 			s.stuckValid = false
@@ -585,14 +817,14 @@ func (s *ServerCore) Tick(now float64) {
 }
 
 // regenerateToken mints a replacement token after a silence timeout. The
-// bid jumps past everything this server has witnessed by a margin of
-// NumServers (covering in-flight increments of a token it may not have
-// seen) plus its own ID — so concurrent regenerations at different
-// servers mint distinct bids, and the strictly highest one wins every
-// later comparison, retiring the others.
+// bid jumps past everything this server has witnessed by a margin of the
+// member count (covering in-flight increments of a token it may not have
+// seen) plus its member index (ring.RegenBid) — so concurrent
+// regenerations at different servers mint distinct bids, and the
+// strictly highest one wins every later comparison, retiring the others.
 func (s *ServerCore) regenerateToken(now float64) {
-	bid := s.maxBidSeen + s.cfg.NumServers + 1 + s.cfg.ID
-	s.token = &Token{Bid: bid, Ages: tensor.Clone(s.ages)}
+	bid := s.mem.RegenBid(s.maxBidSeen, s.cfg.ID)
+	s.token = &Token{Bid: bid, Ages: tensor.Clone(s.ages), Mem: s.mem}
 	s.hasToken = true
 	s.maxBidSeen = bid
 	s.tokenRegens++
@@ -615,15 +847,18 @@ func (s *ServerCore) MaxBidSeen() int { return s.maxBidSeen }
 // HandleServerModel processes another server's model broadcast
 // (Alg. 2 RcvModel).
 func (s *ServerCore) HandleServerModel(j int, params []float64, age float64, bid int) {
-	s.HandleServerModelTraced(j, params, age, bid, nil)
+	s.HandleServerModelTraced(j, params, age, bid, nil, ring.Membership{})
 }
 
 // HandleServerModelTraced is HandleServerModel carrying the broadcast's
-// provenance: front is the sender's merged-updates frontier at broadcast
-// time (nil from untraced peers or pre-extension checkpoints). The local
-// frontier max-merges it, because the weighted model merge incorporates
-// the causal influence of every update the remote model had seen.
-func (s *ServerCore) HandleServerModelTraced(j int, params []float64, age float64, bid int, front []int64) {
+// provenance and membership header: front is the sender's merged-updates
+// frontier at broadcast time (nil from untraced peers or pre-extension
+// checkpoints), mem the sender's ring membership (zero from legacy
+// senders). The local frontier max-merges front, because the weighted
+// model merge incorporates the causal influence of every update the
+// remote model had seen.
+func (s *ServerCore) HandleServerModelTraced(j int, params []float64, age float64, bid int, front []int64, mem ring.Membership) {
+	s.observeMembership(mem)
 	// Fresh ring traffic resets the silence timer — but a holder's
 	// SyncRetry re-broadcast of an already-served round does not, or a
 	// stale holder stuck re-broadcasting a dead round would suppress the
@@ -631,6 +866,10 @@ func (s *ServerCore) HandleServerModelTraced(j int, params []float64, age float6
 	if bid > s.maxBidSeen || !s.didBroadcast[bid] {
 		s.ringSeq++
 	}
+	if j < 0 {
+		return
+	}
+	s.growTo(j + 1)
 	if bid > s.maxBidSeen {
 		s.maxBidSeen = bid
 	}
@@ -642,7 +881,10 @@ func (s *ServerCore) HandleServerModelTraced(j int, params []float64, age float6
 		s.retireOwnToken()
 	}
 	s.ages[j] = age
-	if !s.didBroadcast[bid] {
+	if !s.didBroadcast[bid] && s.mem.Contains(s.cfg.ID) {
+		// Excluded servers still merge broadcasts they happen to receive
+		// (a fresher model never hurts) but must not broadcast into the
+		// round — the holder counts broadcasts against the member count.
 		s.didBroadcast[bid] = true
 		s.agePrev = s.age
 		s.syncsJoined++
@@ -652,23 +894,36 @@ func (s *ServerCore) HandleServerModelTraced(j int, params []float64, age float6
 				Node: s.cfg.ID, Peer: obs.NoPeer, Bid: bid, Note: "join",
 			})
 		}
-		s.out.BroadcastModel(s.w, s.age, bid, s.frontier)
+		s.out.BroadcastModel(s.w, s.age, bid, s.frontier, s.mem)
 	}
 	s.serverAgg(j, params, age, bid, front)
-	if s.hasToken && s.token.Bid == bid {
+	if s.hasToken && s.token.Bid == bid && s.mem.Contains(j) {
 		s.cnt[bid]++
-		if s.cnt[bid] == s.cfg.NumServers {
+		if s.cnt[bid] >= s.mem.Count() {
 			s.forwardToken()
 		}
 	}
 }
 
-// forwardToken stamps the freshest ages into the token and passes it to
-// the ring successor.
+// forwardToken stamps the freshest ages and the current membership into
+// the token and passes it to the ring successor under that membership.
+// On a ring that shrank to just this server the round ends but the token
+// stays put — there is nobody to pass it to.
 func (s *ServerCore) forwardToken() {
+	next := s.mem.Successor(s.cfg.ID)
+	if next == s.cfg.ID {
+		s.ongoingSynchro = false
+		if s.sink.Enabled() {
+			s.sink.Emit(obs.Event{
+				Time: s.clock(), Kind: obs.KindSyncEnd,
+				Node: s.cfg.ID, Peer: obs.NoPeer, Bid: s.token.Bid,
+			})
+		}
+		return
+	}
 	t := *s.token
 	t.Ages = tensor.Clone(s.ages)
-	next := (s.cfg.ID + 1) % s.cfg.NumServers
+	t.Mem = s.mem
 	s.token = nil
 	s.hasToken = false
 	s.ongoingSynchro = false
@@ -723,8 +978,15 @@ func (s *ServerCore) serverAgg(from int, params []float64, remoteAge float64, bi
 // exchange when server-model ages drifted apart by more than HInter or
 // when this server aged by more than HIntra since the last exchange.
 func (s *ServerCore) checkSynchronization() {
-	maxA, minA := s.ages[0], s.ages[0]
-	for _, a := range s.ages[1:] {
+	if s.mem.Count() == 0 {
+		return
+	}
+	// Drift is measured over the current ring members only: a departed
+	// server's frozen age slot must not keep the perceived inter-server
+	// drift above HInter forever.
+	maxA, minA := s.ages[s.mem.Members[0]], s.ages[s.mem.Members[0]]
+	for _, id := range s.mem.Members[1:] {
+		a := s.ages[id]
 		if a > maxA {
 			maxA = a
 		}
@@ -735,9 +997,10 @@ func (s *ServerCore) checkSynchronization() {
 	if maxA-minA < s.cfg.HInter && s.age-s.agePrev < s.cfg.HIntra {
 		return
 	}
-	if s.cfg.NumServers == 1 {
-		// A single-server deployment has no peers to exchange with; just
-		// reset the intra-server trigger.
+	if s.mem.Count() == 1 || !s.mem.Contains(s.cfg.ID) {
+		// A singleton ring has no peers to exchange with, and an
+		// excluded server no longer takes part in exchanges; just reset
+		// the intra-server trigger.
 		s.agePrev = s.age
 		return
 	}
@@ -755,11 +1018,11 @@ func (s *ServerCore) checkSynchronization() {
 				Node: s.cfg.ID, Peer: obs.NoPeer, Bid: bid, Note: "trigger",
 			})
 		}
-		s.out.BroadcastModel(s.w, s.age, bid, s.frontier)
+		s.out.BroadcastModel(s.w, s.age, bid, s.frontier, s.mem)
 	} else if !s.hasToken {
 		if s.age-s.lastAgeBroadcast >= s.cfg.MinAgeGapForAgeBroadcast {
 			s.lastAgeBroadcast = s.age
-			s.out.BroadcastAge(s.age)
+			s.out.BroadcastAge(s.age, s.mem)
 		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"github.com/spyker-fl/spyker/internal/ring"
 	"github.com/spyker-fl/spyker/internal/tensor"
 )
 
@@ -111,10 +112,10 @@ type tokenRec struct {
 func (f *fakeOut) ReplyClient(k int, p []float64, age, lr float64) {
 	f.replies = append(f.replies, replyRec{k, tensor.Clone(p), age, lr})
 }
-func (f *fakeOut) BroadcastModel(p []float64, age float64, bid int, _ []int64) {
+func (f *fakeOut) BroadcastModel(p []float64, age float64, bid int, _ []int64, _ ring.Membership) {
 	f.models = append(f.models, modelRec{tensor.Clone(p), age, bid})
 }
-func (f *fakeOut) BroadcastAge(age float64) { f.ages = append(f.ages, age) }
+func (f *fakeOut) BroadcastAge(age float64, _ ring.Membership) { f.ages = append(f.ages, age) }
 func (f *fakeOut) SendToken(t Token, next int) {
 	f.tokens = append(f.tokens, tokenRec{t, next})
 }
@@ -430,14 +431,14 @@ type loopbackOut struct {
 }
 
 func (l *loopbackOut) ReplyClient(int, []float64, float64, float64) {}
-func (l *loopbackOut) BroadcastModel(p []float64, age float64, bid int, _ []int64) {
+func (l *loopbackOut) BroadcastModel(p []float64, age float64, bid int, _ []int64, _ ring.Membership) {
 	for i, c := range *l.cores {
 		if i != l.id && c != nil {
 			c.HandleServerModel(l.id, tensor.Clone(p), age, bid)
 		}
 	}
 }
-func (l *loopbackOut) BroadcastAge(age float64) {
+func (l *loopbackOut) BroadcastAge(age float64, _ ring.Membership) {
 	for i, c := range *l.cores {
 		if i != l.id && c != nil {
 			c.HandleAge(l.id, age)

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"github.com/spyker-fl/spyker/internal/obs"
+	"github.com/spyker-fl/spyker/internal/ring"
 )
 
 // The merged-updates frontier is plain protocol state: it must advance on
@@ -34,7 +35,7 @@ func TestFrontierMergesFromBroadcasts(t *testing.T) {
 	s.HandleClientUpdate(0, []float64{1, 1}, 0)
 
 	// A peer broadcast carrying front [0 5 2] max-merges into [1 5 2].
-	s.HandleServerModelTraced(1, []float64{2, 2}, 1, 1, []int64{0, 5, 2})
+	s.HandleServerModelTraced(1, []float64{2, 2}, 1, 1, []int64{0, 5, 2}, ring.Membership{})
 	got := s.Frontier()
 	if got[0] != 1 || got[1] != 5 || got[2] != 2 {
 		t.Fatalf("frontier = %v, want [1 5 2]", got)
@@ -42,8 +43,8 @@ func TestFrontierMergesFromBroadcasts(t *testing.T) {
 
 	// A stale broadcast (lower coordinates) must not regress the frontier,
 	// and untraced broadcasts (nil front) must merge nothing.
-	s.HandleServerModelTraced(2, []float64{2, 2}, 1, 2, []int64{0, 3, 1})
-	s.HandleServerModelTraced(1, []float64{2, 2}, 1, 3, nil)
+	s.HandleServerModelTraced(2, []float64{2, 2}, 1, 2, []int64{0, 3, 1}, ring.Membership{})
+	s.HandleServerModelTraced(1, []float64{2, 2}, 1, 3, nil, ring.Membership{})
 	got = s.Frontier()
 	if got[0] != 1 || got[1] != 5 || got[2] != 2 {
 		t.Fatalf("frontier regressed: %v, want [1 5 2]", got)
@@ -76,9 +77,9 @@ type frontierOut struct {
 	onModel func(front []int64)
 }
 
-func (f *frontierOut) BroadcastModel(p []float64, age float64, bid int, front []int64) {
+func (f *frontierOut) BroadcastModel(p []float64, age float64, bid int, front []int64, mem ring.Membership) {
 	f.onModel(front)
-	f.fakeOut.BroadcastModel(p, age, bid, front)
+	f.fakeOut.BroadcastModel(p, age, bid, front, mem)
 }
 
 func TestTracedEventsCarryUIDAndFrontier(t *testing.T) {
@@ -88,7 +89,7 @@ func TestTracedEventsCarryUIDAndFrontier(t *testing.T) {
 
 	uid := obs.UpdateUID(4, 1)
 	s.HandleClientUpdateTraced(0, []float64{1, 1}, 0, uid)
-	s.HandleServerModelTraced(1, []float64{2, 2}, 1, 3, []int64{0, 7})
+	s.HandleServerModelTraced(1, []float64{2, 2}, 1, 3, []int64{0, 7}, ring.Membership{})
 
 	evs := tr.Events()
 	var sawUpdate, sawAgg bool
@@ -120,7 +121,7 @@ func TestTracedEventsCarryUIDAndFrontier(t *testing.T) {
 func TestSnapshotRestoresFrontier(t *testing.T) {
 	s := NewServerCore(coreConfig(0, 3, 2), []float64{0, 0}, false, &fakeOut{})
 	s.HandleClientUpdate(0, []float64{1, 1}, 0)
-	s.HandleServerModelTraced(1, []float64{2, 2}, 1, 1, []int64{0, 4, 0})
+	s.HandleServerModelTraced(1, []float64{2, 2}, 1, 1, []int64{0, 4, 0}, ring.Membership{})
 
 	st := s.Snapshot()
 	if len(st.Frontier) != 3 || st.Frontier[0] != 1 || st.Frontier[1] != 4 {

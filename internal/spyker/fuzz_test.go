@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"github.com/spyker-fl/spyker/internal/ring"
 	"github.com/spyker-fl/spyker/internal/tensor"
 )
 
@@ -73,7 +74,7 @@ type fuzzOut struct {
 
 func (o *fuzzOut) ReplyClient(int, []float64, float64, float64) {}
 
-func (o *fuzzOut) BroadcastModel(p []float64, age float64, bid int, _ []int64) {
+func (o *fuzzOut) BroadcastModel(p []float64, age float64, bid int, _ []int64, _ ring.Membership) {
 	snapshot := tensor.Clone(p)
 	for i := range o.net.cores {
 		if i == o.id {
@@ -86,7 +87,7 @@ func (o *fuzzOut) BroadcastModel(p []float64, age float64, bid int, _ []int64) {
 	}
 }
 
-func (o *fuzzOut) BroadcastAge(age float64) {
+func (o *fuzzOut) BroadcastAge(age float64, _ ring.Membership) {
 	for i := range o.net.cores {
 		if i == o.id {
 			continue

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/spyker-fl/spyker/internal/cluster"
 	"github.com/spyker-fl/spyker/internal/fl"
 	"github.com/spyker-fl/spyker/internal/geo"
 	"github.com/spyker-fl/spyker/internal/obs"
+	"github.com/spyker-fl/spyker/internal/ring"
 )
 
 // Algorithm runs Spyker under the discrete-event simulator. It implements
@@ -20,6 +22,13 @@ type Algorithm struct {
 
 	servers []*simServer
 
+	// homeOf maps every client to its current home server. Build seeds it
+	// from the static placement; elastic membership changes (Join/Leave)
+	// re-home clients by rewriting it, and the delivery glue routes each
+	// update through it at delivery time, so updates already in flight
+	// reach the client's new home.
+	homeOf []int
+
 	// faultsArmed is set when Env.Faults != nil. It switches the message
 	// glue from pooled zero-copy buffers to plain owned copies (injected
 	// drops and duplicates break the pool's exactly-once release
@@ -27,6 +36,7 @@ type Algorithm struct {
 	// exactly the pre-fault code paths.
 	faultsArmed bool
 	initial     []float64 // pristine t=0 model, the restart fallback
+	tickPeriod  float64   // recovery tick period, 0 when recovery is off
 }
 
 var _ fl.Algorithm = (*Algorithm)(nil)
@@ -52,13 +62,16 @@ type simServer struct {
 	client map[int]*fl.SimClient
 
 	// Failure-injection state, only touched when faultsArmed. down marks
-	// a crashed server: arriving messages are discarded. epoch counts
-	// crash/restart transitions so work already sitting in the processing
-	// queue when the crash hit is invalidated rather than applied to the
-	// restarted incarnation. ckpt is the restart point (fault.Cluster
-	// Checkpoint), and heardSince tracks which clients this incarnation
-	// has processed an update from — the re-engagement pass skips them.
+	// a crashed server: arriving messages are discarded. left marks a
+	// server that departed the ring for good (elastic Leave) — same
+	// discard behaviour, but permanent. epoch counts crash/restart
+	// transitions so work already sitting in the processing queue when
+	// the crash hit is invalidated rather than applied to the restarted
+	// incarnation. ckpt is the restart point (fault.Cluster Checkpoint),
+	// and heardSince tracks which clients this incarnation has processed
+	// an update from — the re-engagement pass skips them.
 	down       bool
+	left       bool
 	epoch      int
 	ckpt       State
 	hasCkpt    bool
@@ -76,12 +89,12 @@ func (s *simServer) submit(proc float64, fn func()) {
 		s.queue.Submit(proc, fn)
 		return
 	}
-	if s.down {
+	if s.down || s.left {
 		return
 	}
 	epoch := s.epoch
 	s.queue.Submit(proc, func() {
-		if s.down || s.epoch != epoch {
+		if s.down || s.left || s.epoch != epoch {
 			return
 		}
 		fn()
@@ -142,9 +155,14 @@ func (a *Algorithm) Build(env *fl.Env) error {
 
 	// Create the clients and hand every one the initial model at time 0
 	// (clients begin training immediately, as in the paper's emulation).
+	// Updates route through homeOf at delivery time, not through the
+	// server captured at build time: elastic membership changes re-home
+	// clients mid-run, and an update already in flight must land at the
+	// client's current home.
+	a.homeOf = make([]int, len(env.Clients))
 	for ci := range env.Clients {
 		spec := env.Clients[ci]
-		srv := a.servers[spec.Server]
+		a.homeOf[ci] = spec.Server
 		c := &fl.SimClient{
 			Env:         env,
 			Spec:        spec,
@@ -155,6 +173,7 @@ func (a *Algorithm) Build(env *fl.Env) error {
 				if !ok {
 					panic(fmt.Sprintf("spyker: client meta %T is not an age", meta))
 				}
+				srv := a.servers[a.homeOf[clientID]]
 				srv.submit(env.ProcFor(srv.id, env.Hyper.ProcSpyker), func() {
 					srv.core.HandleClientUpdateTraced(clientID, update, age, uid)
 					if srv.heardSince != nil {
@@ -165,7 +184,7 @@ func (a *Algorithm) Build(env *fl.Env) error {
 				})
 			},
 		}
-		srv.client[ci] = c
+		a.servers[spec.Server].client[ci] = c
 		c.HandleModel(initial, float64(0), env.Hyper.ClientLR)
 	}
 	return nil
@@ -186,19 +205,29 @@ func (a *Algorithm) scheduleTicks(env *fl.Env) {
 	if period <= 0 {
 		return
 	}
-	period /= 4
+	a.tickPeriod = period / 4
 	n := len(a.servers)
 	for _, s := range a.servers {
-		s := s
-		var tick func()
-		tick = func() {
-			if !s.down {
-				s.core.Tick(env.Sim.Now())
-			}
-			env.Sim.Schedule(period, tick)
-		}
-		env.Sim.ScheduleAt(period*(1+float64(s.id)/float64(n)), tick)
+		a.scheduleTickFor(env, s, a.tickPeriod*(1+float64(s.id)/float64(n)))
 	}
+}
+
+// scheduleTickFor starts one server's recurring recovery tick after the
+// given initial delay (relative to now). Joined servers get their own
+// tick loop with the same stagger rule, computed over the ring size at
+// join time; a departed server's loop winds down at its next firing.
+func (a *Algorithm) scheduleTickFor(env *fl.Env, s *simServer, first float64) {
+	var tick func()
+	tick = func() {
+		if s.left {
+			return
+		}
+		if !s.down {
+			s.core.Tick(env.Sim.Now())
+		}
+		env.Sim.Schedule(a.tickPeriod, tick)
+	}
+	env.Sim.Schedule(first, tick)
 }
 
 // reengageGrace is how long a restarted server waits before re-sending
@@ -216,7 +245,7 @@ func (a *Algorithm) NumServers() int { return len(a.servers) }
 // holding the token, or -1 when the token is in flight or lost.
 func (a *Algorithm) TokenHolder() int {
 	for i, s := range a.servers {
-		if !s.down && s.core.HasToken() {
+		if !s.down && !s.left && s.core.HasToken() {
 			return i
 		}
 	}
@@ -227,7 +256,7 @@ func (a *Algorithm) TokenHolder() int {
 // state as its restart point. A down server cannot checkpoint.
 func (a *Algorithm) Checkpoint(i int) {
 	s := a.servers[i]
-	if s.down {
+	if s.down || s.left {
 		return
 	}
 	s.core.SnapshotInto(&s.ckpt)
@@ -239,7 +268,7 @@ func (a *Algorithm) Checkpoint(i int) {
 // addressed to it until Restart.
 func (a *Algorithm) Crash(i int) {
 	s := a.servers[i]
-	if s.down {
+	if s.down || s.left {
 		return
 	}
 	s.down = true
@@ -253,7 +282,7 @@ func (a *Algorithm) Crash(i int) {
 // model their training loops would stay parked forever.
 func (a *Algorithm) Restart(i int) {
 	s := a.servers[i]
-	if !s.down {
+	if !s.down || s.left {
 		return
 	}
 	if s.hasCkpt {
@@ -292,10 +321,211 @@ func (a *Algorithm) Restart(i int) {
 // holds it, reporting whether it did.
 func (a *Algorithm) DropToken(i int) bool {
 	s := a.servers[i]
-	if s.down {
+	if s.down || s.left {
 		return false
 	}
 	return s.core.DropToken()
+}
+
+// Join implements fault.Elastic: a new server joins the ring, sponsored
+// by an existing member (the sponsor hands over its model and age
+// knowledge and announces the epoch bump). Returns the new server's
+// stable ID, or -1 if no live sponsor exists. Half of the sponsor's
+// clients are re-homed to the newcomer — the scale-out scenario the
+// elastic study measures: a hot region splits its load.
+func (a *Algorithm) Join(sponsor int) int {
+	if sponsor < 0 || sponsor >= len(a.servers) ||
+		a.servers[sponsor].down || a.servers[sponsor].left {
+		// Fall back to the lowest live member; a plan event may name a
+		// sponsor that has crashed or departed since the plan was written.
+		sponsor = -1
+		for i, s := range a.servers {
+			if !s.down && !s.left {
+				sponsor = i
+				break
+			}
+		}
+		if sponsor < 0 {
+			return -1
+		}
+	}
+	sp := a.servers[sponsor]
+	env := sp.env
+	newID := len(a.servers)
+
+	// The newcomer shares the sponsor's region: the scale-out scenario
+	// adds capacity where the load is, and keeping the region fixed makes
+	// the DES comparison against a fixed larger ring apples-to-apples.
+	env.Servers = append(env.Servers, fl.ServerSpec{ID: newID, Region: env.Servers[sponsor].Region})
+	ns := &simServer{
+		env:    env,
+		alg:    a,
+		id:     newID,
+		queue:  fl.NewProcQueue(env.Sim, newID, env.Observer),
+		client: make(map[int]*fl.SimClient),
+	}
+	ns.queue.Instrument(
+		env.Metrics.Gauge(fmt.Sprintf("sim.server%d.queue_depth", newID)),
+		env.Metrics.Histogram(fmt.Sprintf("sim.server%d.queue_depth_dist", newID), nil),
+	)
+	if a.faultsArmed {
+		ns.heardSince = make(map[int]bool)
+	}
+	// The shell must be registered before AdmitMember: the sponsor's
+	// membership announcement fans out to a.servers, and the newcomer's
+	// queue has to exist to receive it (the announcement lands after the
+	// core below is installed — network latency is strictly positive).
+	a.servers = append(a.servers, ns)
+
+	st, err := sp.core.AdmitMember(newID)
+	if err != nil {
+		panic(fmt.Sprintf("spyker: join via sponsor %d: %v", sponsor, err))
+	}
+	ns.cfg = st.Config
+	core, err := RestoreServerCore(st, ns)
+	if err != nil {
+		panic(fmt.Sprintf("spyker: bootstrap joined server %d: %v", newID, err))
+	}
+	ns.core = core
+	core.Instrument(env.Trace, env.Sim.Now)
+	if a.tickPeriod > 0 {
+		a.scheduleTickFor(env, ns, a.tickPeriod*(1+float64(newID)/float64(len(a.servers))))
+	}
+
+	// Split the sponsor's client population: every second client (in
+	// stable ID order) moves to the newcomer. Both are in the same
+	// region, so nearest-server placement degenerates to alternation —
+	// the balanced split.
+	ids := make([]int, 0, len(sp.client))
+	//lint:sorted keys are collected and sorted just below
+	for ci := range sp.client {
+		ids = append(ids, ci)
+	}
+	sort.Ints(ids)
+	for idx, ci := range ids {
+		if idx%2 == 1 {
+			a.rehome(ci, newID)
+		}
+	}
+	sp.core.SetNumClients(len(sp.client))
+	core.SetNumClients(len(ns.client))
+	return newID
+}
+
+// Leave implements fault.Elastic: target departs the ring for good. The
+// token is handed to the ring successor if target holds it idle (dropped
+// if mid-round — TokenTimeout recovery then heals), a surviving member
+// announces the epoch bump excluding target, and target's clients are
+// re-homed to their nearest surviving servers (balanced, by modeled AWS
+// latency). Returns false when target is already gone or it is the last
+// live server.
+func (a *Algorithm) Leave(target int) bool {
+	if target < 0 || target >= len(a.servers) {
+		return false
+	}
+	t := a.servers[target]
+	if t.down || t.left {
+		return false
+	}
+	coord := -1
+	for i, s := range a.servers {
+		if i != target && !s.down && !s.left {
+			coord = i
+			break
+		}
+	}
+	if coord < 0 {
+		return false
+	}
+	// Graceful hand-off while target is still live: an idle token rides
+	// to the successor, a mid-round one is dropped and regenerated by the
+	// survivors' timeout.
+	if t.core.HasToken() && !t.core.YieldToken() {
+		t.core.DropToken()
+	}
+	t.left = true
+	t.epoch++
+	a.servers[coord].core.ExcludeMember(target)
+
+	// Re-home target's clients to the nearest surviving servers,
+	// balanced by current load (the same placement heuristic the static
+	// geo assignment uses).
+	ids := make([]int, 0, len(t.client))
+	//lint:sorted keys are collected and sorted just below
+	for ci := range t.client {
+		ids = append(ids, ci)
+	}
+	sort.Ints(ids)
+	if len(ids) > 0 {
+		env := t.env
+		survivors := make([]int, 0, len(a.servers))
+		load := make(map[int]int, len(a.servers))
+		for i, s := range a.servers {
+			if !s.down && !s.left {
+				survivors = append(survivors, i)
+				load[i] = len(s.client)
+			}
+		}
+		regions := make([]geo.Region, len(ids))
+		for i, ci := range ids {
+			regions[i] = env.Clients[ci].Region
+		}
+		assign := cluster.NearestBalanced(regions, survivors,
+			func(s int) geo.Region { return env.Servers[s].Region },
+			geo.AWSLatency, load)
+		movedTo := make(map[int][]int, len(survivors))
+		for i, ci := range ids {
+			a.rehome(ci, assign[i])
+			movedTo[assign[i]] = append(movedTo[assign[i]], ci)
+		}
+		for _, si := range survivors {
+			a.servers[si].core.SetNumClients(len(a.servers[si].client))
+		}
+		// Updates the moved clients had in flight toward target died with
+		// its departure (the left guard discards them), so after a grace
+		// period each new home re-engages the movers it has not heard
+		// from — mirroring the crash-restart re-engagement pass.
+		for _, si := range survivors {
+			moved := movedTo[si]
+			if len(moved) == 0 {
+				continue
+			}
+			s := a.servers[si]
+			epoch := s.epoch
+			env.Sim.Schedule(reengageGrace, func() {
+				if s.down || s.left || s.epoch != epoch {
+					return
+				}
+				for _, ci := range moved {
+					if !s.heardSince[ci] && a.homeOf[ci] == si {
+						s.core.ReengageClient(ci)
+					}
+				}
+			})
+		}
+	}
+	return true
+}
+
+// rehome moves client ci to server to: the client actor keeps running,
+// only its home pointer changes, and in-flight updates follow via the
+// homeOf indirection in the delivery glue.
+func (a *Algorithm) rehome(ci, to int) {
+	from := a.homeOf[ci]
+	if from == to {
+		return
+	}
+	src := a.servers[from]
+	dst := a.servers[to]
+	c := src.client[ci]
+	if c == nil {
+		return
+	}
+	delete(src.client, ci)
+	delete(src.heardSince, ci)
+	dst.client[ci] = c
+	c.Spec.Server = to
+	a.homeOf[ci] = to
 }
 
 // ServerParams returns the live parameter vectors of every server model;
@@ -324,6 +554,11 @@ func (s *simServer) ReplyClient(k int, params []float64, age, lr float64) {
 	src := s.env.ServerEndpoint(s.id)
 	dst := s.env.ClientEndpoint(k)
 	c := s.client[k]
+	if c == nil {
+		// The client was re-homed away between the update's arrival and
+		// this reply (elastic membership); its new home will engage it.
+		return
+	}
 	if s.alg.faultsArmed {
 		// Owned copy instead of a pooled buffer: an injected duplicate
 		// would release the pooled buffer twice, an injected drop never.
@@ -351,12 +586,14 @@ func (s *simServer) ReplyClient(k int, params []float64, age, lr float64) {
 // happens later in virtual time, while the origin's live frontier keeps
 // advancing, so aliasing it would corrupt the causal snapshot the
 // broadcast carries.
-func (s *simServer) BroadcastModel(params []float64, age float64, bid int, front []int64) {
+func (s *simServer) BroadcastModel(params []float64, age float64, bid int, front []int64, mem ring.Membership) {
 	src := s.env.ServerEndpoint(s.id)
 	if s.alg.faultsArmed {
 		// One owned copy shared read-only by every peer delivery; the
 		// pooled countdown protocol is unsound under injected drops and
 		// duplicates (see ReplyClient), so faulty runs let the GC own it.
+		// mem needs no copy: Membership slices are immutable (ring
+		// package contract).
 		own := append([]float64(nil), params...)
 		frontOwn := append([]int64(nil), front...)
 		uid := obs.RoundUID(s.id, bid)
@@ -368,7 +605,7 @@ func (s *simServer) BroadcastModel(params []float64, age float64, bid int, front
 			dst := s.env.ServerEndpoint(p.id)
 			s.env.Net.SendTraced(src, dst, s.env.ModelBytes, geo.ServerServer, uid, func() {
 				p.submit(s.env.ProcFor(p.id, s.env.Hyper.ProcSpyker), func() {
-					p.core.HandleServerModelTraced(s.id, own, age, bid, frontOwn)
+					p.core.HandleServerModelTraced(s.id, own, age, bid, frontOwn, mem)
 				})
 			})
 		}
@@ -391,7 +628,7 @@ func (s *simServer) BroadcastModel(params []float64, age float64, bid int, front
 		dst := s.env.ServerEndpoint(p.id)
 		s.env.Net.SendTraced(src, dst, s.env.ModelBytes, geo.ServerServer, uid, func() {
 			p.queue.Submit(s.env.ProcFor(p.id, s.env.Hyper.ProcSpyker), func() {
-				p.core.HandleServerModelTraced(s.id, buf, age, bid, frontCopy)
+				p.core.HandleServerModelTraced(s.id, buf, age, bid, frontCopy, mem)
 				if remaining--; remaining == 0 {
 					s.env.Pool.Put(buf)
 				}
@@ -401,7 +638,7 @@ func (s *simServer) BroadcastModel(params []float64, age float64, bid int, front
 }
 
 // BroadcastAge implements Outbound.
-func (s *simServer) BroadcastAge(age float64) {
+func (s *simServer) BroadcastAge(age float64, mem ring.Membership) {
 	src := s.env.ServerEndpoint(s.id)
 	for _, peer := range s.alg.servers {
 		if peer.id == s.id {
@@ -411,7 +648,7 @@ func (s *simServer) BroadcastAge(age float64) {
 		dst := s.env.ServerEndpoint(p.id)
 		s.env.Net.Send(src, dst, fl.AgeWireBytes, geo.ServerServer, func() {
 			p.submit(0, func() {
-				p.core.HandleAge(s.id, age)
+				p.core.HandleAgeTagged(s.id, age, mem)
 			})
 		})
 	}

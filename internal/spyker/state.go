@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/spyker-fl/spyker/internal/ring"
 	"github.com/spyker-fl/spyker/internal/tensor"
 )
 
@@ -45,6 +46,13 @@ type State struct {
 	// provenance extension — restore then starts it at zero, which only
 	// resets lineage counting, never protocol behaviour.
 	Frontier []int64
+
+	// Mem is the epoch-versioned ring membership (the elastic-membership
+	// extension). Nil in checkpoints written before the extension —
+	// restore then rebuilds the fixed construction-time ring
+	// ring.Fixed(Config.NumServers) at epoch 0, exactly the ring such a
+	// core was running on.
+	Mem *ring.Membership
 }
 
 // Snapshot captures the core's full protocol state. The returned State
@@ -72,6 +80,11 @@ func (s *ServerCore) SnapshotInto(st *State) {
 	st.MaxBidSeen = s.maxBidSeen
 	st.TokenRegens = s.tokenRegens
 	st.Frontier = append(st.Frontier[:0], s.frontier...)
+	if st.Mem == nil {
+		st.Mem = &ring.Membership{}
+	}
+	st.Mem.Epoch = s.mem.Epoch
+	st.Mem.Members = append(st.Mem.Members[:0], s.mem.Members...)
 	if s.token != nil {
 		if st.Token == nil {
 			st.Token = &Token{}
@@ -106,25 +119,45 @@ func (s *ServerCore) SnapshotInto(st *State) {
 }
 
 // RestoreServerCore rebuilds a core from a snapshot, attaching the given
-// outbound. The state is copied, not aliased.
+// outbound. The state is copied, not aliased. A legacy snapshot (nil
+// Mem, written before the elastic-membership extension) restores onto
+// the fixed construction-time ring at epoch 0 under the original strict
+// length validations; a membership-carrying snapshot restores onto
+// exactly that ring, with the server's stable ID free of the 0..N-1
+// constraint as long as it is a member.
 func RestoreServerCore(st State, out Outbound) (*ServerCore, error) {
-	if st.Config.NumServers <= 0 || st.Config.ID < 0 || st.Config.ID >= st.Config.NumServers {
-		return nil, fmt.Errorf("spyker: snapshot has invalid config %+v", st.Config)
+	var mem ring.Membership
+	if st.Mem == nil {
+		if st.Config.NumServers <= 0 || st.Config.ID < 0 || st.Config.ID >= st.Config.NumServers {
+			return nil, fmt.Errorf("spyker: snapshot has invalid config %+v", st.Config)
+		}
+		if len(st.Ages) != st.Config.NumServers {
+			return nil, fmt.Errorf("spyker: snapshot ages length %d != %d servers",
+				len(st.Ages), st.Config.NumServers)
+		}
+		if st.Token != nil && len(st.Token.Ages) != st.Config.NumServers {
+			return nil, fmt.Errorf("spyker: snapshot token ages length %d != %d servers",
+				len(st.Token.Ages), st.Config.NumServers)
+		}
+		mem = ring.Fixed(st.Config.NumServers)
+	} else {
+		mem = st.Mem.Clone()
+		if !mem.Contains(st.Config.ID) {
+			return nil, fmt.Errorf("spyker: snapshot server %d not a member of %s",
+				st.Config.ID, mem)
+		}
+		if len(st.Ages) < mem.Slots() {
+			return nil, fmt.Errorf("spyker: snapshot ages length %d < %d membership slots",
+				len(st.Ages), mem.Slots())
+		}
 	}
-	if len(st.Ages) != st.Config.NumServers {
-		return nil, fmt.Errorf("spyker: snapshot ages length %d != %d servers",
-			len(st.Ages), st.Config.NumServers)
-	}
-	if st.Token != nil && len(st.Token.Ages) != st.Config.NumServers {
-		return nil, fmt.Errorf("spyker: snapshot token ages length %d != %d servers",
-			len(st.Token.Ages), st.Config.NumServers)
-	}
-	s := NewServerCore(st.Config, st.W, false, out)
+	s := newServerCore(st.Config, mem, st.W, false, out)
 	s.age = st.Age
 	s.agePrev = st.AgePrev
+	s.growTo(len(st.Ages))
 	copy(s.ages, st.Ages)
 	if st.Token != nil {
-		t := Token{Bid: st.Token.Bid, Ages: tensor.Clone(st.Token.Ages)}
+		t := Token{Bid: st.Token.Bid, Ages: tensor.Clone(st.Token.Ages), Mem: s.mem}
 		s.token = &t
 		s.hasToken = true
 	}
@@ -152,10 +185,17 @@ func RestoreServerCore(st State, out Outbound) (*ServerCore, error) {
 		s.maxBidSeen = s.token.Bid
 	}
 	if st.Frontier != nil {
-		if len(st.Frontier) != st.Config.NumServers {
+		if st.Mem == nil && len(st.Frontier) != st.Config.NumServers {
 			return nil, fmt.Errorf("spyker: snapshot frontier length %d != %d servers",
 				len(st.Frontier), st.Config.NumServers)
 		}
+		// Elastic snapshots grow ages and frontier in lockstep (growTo),
+		// so their lengths must agree.
+		if st.Mem != nil && len(st.Frontier) != len(st.Ages) {
+			return nil, fmt.Errorf("spyker: snapshot frontier length %d != ages length %d",
+				len(st.Frontier), len(st.Ages))
+		}
+		s.growTo(len(st.Frontier))
 		copy(s.frontier, st.Frontier)
 	}
 	return s, nil

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/gob"
 	"testing"
+
+	"github.com/spyker-fl/spyker/internal/ring"
 )
 
 // driveCore applies a fixed message sequence to a core and records every
@@ -114,6 +116,70 @@ func TestSnapshotGobRoundTrip(t *testing.T) {
 	}
 	if restored.UpdatesFrom(0) != 1 {
 		t.Error("decay counters lost in round trip")
+	}
+}
+
+// TestRestoreLegacySnapshotFixedRing: checkpoints written before the
+// elastic-membership extension decode with a nil Mem; they must restore
+// onto the construction-time fixed ring at epoch 0 under the original
+// strict validations.
+func TestRestoreLegacySnapshotFixedRing(t *testing.T) {
+	s := NewServerCore(coreConfig(1, 3, 2), []float64{1, 2}, false, &fakeOut{})
+	s.HandleClientUpdate(0, []float64{3, 4}, 0)
+	st := s.Snapshot()
+	st.Mem = nil // what a pre-elastic gob decodes to
+	r, err := RestoreServerCore(st, &fakeOut{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := r.Membership(), ring.Fixed(3); !got.Equal(want) {
+		t.Fatalf("legacy restore membership = %v, want %v", got, want)
+	}
+	if r.Epoch() != 0 {
+		t.Fatalf("legacy restore epoch = %d, want 0", r.Epoch())
+	}
+}
+
+// TestSnapshotRoundTripsMembership: a post-admission membership — epoch
+// above 0, a member ID past the construction-time count — must survive
+// the gob checkpoint format and restore exactly, both for the joiner's
+// re-keyed snapshot and for the sponsor's own.
+func TestSnapshotRoundTripsMembership(t *testing.T) {
+	sponsor := NewServerCore(coreConfig(0, 3, 2), []float64{1, 2}, false, &fakeOut{})
+	st, err := sponsor.AdmitMember(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Config.ID != 3 {
+		t.Fatalf("joiner snapshot keyed to ID %d, want 3", st.Config.ID)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		t.Fatal(err)
+	}
+	var decoded State
+	if err := gob.NewDecoder(&buf).Decode(&decoded); err != nil {
+		t.Fatal(err)
+	}
+	joiner, err := RestoreServerCore(decoded, &fakeOut{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ring.New(1, []int{0, 1, 2, 3})
+	if got := joiner.Membership(); !got.Equal(want) {
+		t.Fatalf("joiner membership = %v, want %v", got, want)
+	}
+
+	// The sponsor's own snapshot carries the same epoch-1 view; after an
+	// exclusion the hole in the slot space must round-trip too.
+	sponsor.ExcludeMember(1)
+	sst := sponsor.Snapshot()
+	r, err := RestoreServerCore(sst, &fakeOut{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := r.Membership(), ring.New(2, []int{0, 2, 3}); !got.Equal(want) {
+		t.Fatalf("sponsor membership after exclusion = %v, want %v", got, want)
 	}
 }
 

@@ -34,6 +34,14 @@ const (
 	KindToken
 	// KindShutdown tells a client to stop training and disconnect.
 	KindShutdown
+	// KindJoinRequest asks a running server to sponsor the sender into
+	// the ring (From is unset; Addrs[0] is the joiner's listen address).
+	KindJoinRequest
+	// KindJoinReply answers a join request: Bid carries the assigned
+	// server ID, Epoch/Members/Addrs the post-admission membership and
+	// address book, and Blob a gob-encoded spyker.State snapshot re-keyed
+	// for the newcomer.
+	KindJoinReply
 )
 
 // String implements fmt.Stringer.
@@ -53,6 +61,10 @@ func (k Kind) String() string {
 		return "token"
 	case KindShutdown:
 		return "shutdown"
+	case KindJoinRequest:
+		return "join-request"
+	case KindJoinReply:
+		return "join-reply"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -80,6 +92,17 @@ type Msg struct {
 	Bid    int       // synchronization ID (KindServerModel, KindToken)
 	Ages   []float64 // token age vector (KindToken)
 	Trace  Trace     // causal provenance context (optional)
+
+	// Elastic-membership header. Epoch/Members version the sender's view
+	// of the server ring (server-to-server kinds); Addrs carries the
+	// sender's address book aligned with Members so receivers can dial
+	// newly admitted peers; Blob is an opaque payload (KindJoinReply
+	// carries a gob-encoded state snapshot in it). A zero header — the
+	// pre-elastic wire format — costs nothing under gob.
+	Epoch   int
+	Members []int
+	Addrs   []string
+	Blob    []byte
 }
 
 // Reset clears the message for reuse as a gob decode target. Gob leaves
@@ -91,6 +114,11 @@ type Msg struct {
 // stores it), so it must never be overwritten by a later decode.
 // Trace.Front keeps its backing array like Params: the frontier is merged
 // into the receiving core before the next decode, never retained.
+// Members is dropped like Ages: token receivers retain the decoded
+// membership slice (it becomes Token.Mem.Members, which ServerCore
+// stores), so a later decode must never scribble over it. Addrs and
+// Blob are dropped for the same reason (the address book and join
+// snapshot outlive the frame).
 func (m *Msg) Reset() {
 	m.Kind = 0
 	m.From = 0
@@ -101,6 +129,10 @@ func (m *Msg) Reset() {
 	m.Ages = nil
 	m.Trace.UID = 0
 	m.Trace.Front = m.Trace.Front[:0]
+	m.Epoch = 0
+	m.Members = nil
+	m.Addrs = nil
+	m.Blob = nil
 }
 
 // MsgWireBytes estimates the payload size of a message in bytes: the
@@ -109,7 +141,11 @@ func (m *Msg) Reset() {
 // preamble (sent once per connection), so the estimate is stable per
 // frame — what byte accounting wants.
 func MsgWireBytes(m *Msg) int {
-	return 40 + 8*(len(m.Params)+len(m.Ages)+len(m.Trace.Front))
+	n := 40 + 8*(len(m.Params)+len(m.Ages)+len(m.Trace.Front)+len(m.Members)) + len(m.Blob)
+	for _, a := range m.Addrs {
+		n += len(a)
+	}
+	return n
 }
 
 // ConnStats is a snapshot of a connection's frame and byte accounting.
