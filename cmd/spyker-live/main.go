@@ -61,7 +61,7 @@ func main() {
 	clientLatency := flag.Duration("client-latency", 0, "injected one-way latency on client links")
 	statsEvery := flag.Duration("stats-every", 0, "log a one-line per-server stats snapshot at this period (0 = off)")
 	tracePath := flag.String("trace", "", "write the protocol event trace to this JSONL file (see spyker-trace)")
-	debugAddr := flag.String("debug-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof) on this address while running")
+	debugAddr := flag.String("debug-addr", "", "serve expvar (/debug/vars), pprof (/debug/pprof), Prometheus text (/debug/metrics) and — in server role — the telemetry snapshot (/debug/telemetry) on this address")
 
 	// Multi-process roles.
 	id := flag.Int("id", 0, "this server's ID (server role)")
@@ -88,7 +88,7 @@ func main() {
 			seed: *seed, token: *token, ckptPath: *ckptPath, ckptEvery: *ckptEvery,
 			resume: *resume, tokenTimeout: *tokenTimeout, syncRetry: *syncRetry,
 			reconnectEvery: *reconnectEvery, statsEvery: *statsEvery, duration: *duration,
-			join: *join,
+			join: *join, debugAddr: *debugAddr, tracePath: *tracePath,
 		})
 	case "clients":
 		err = runClients(splitPeers(*peerList), *clients, *seed, *duration)
@@ -155,6 +155,8 @@ type serverOpts struct {
 	statsEvery     time.Duration
 	duration       time.Duration
 	join           string
+	debugAddr      string
+	tracePath      string
 }
 
 // runServer hosts exactly one live server in this process — the unit a
@@ -218,6 +220,23 @@ func runServer(o serverOpts) error {
 	}
 	defer srv.Close()
 
+	// Observability: the metrics registry and the derived-metrics sink
+	// always run in server role (they feed the telemetry endpoint); the
+	// ring-buffer tracer rides along when -trace or -debug-addr asks for
+	// it. Instrument before peers or clients connect.
+	reg := obs.NewRegistry()
+	var tracer *obs.Tracer
+	sink := obs.Sink(obs.NewMetricsSink(reg))
+	if o.tracePath != "" || o.debugAddr != "" {
+		tracer = obs.NewTracer(1 << 18)
+		sink = obs.Multi(tracer, sink)
+	}
+	srv.Instrument(sink, reg)
+	if o.debugAddr != "" {
+		srv.SetDebugAddr(o.debugAddr)
+		serveServerDebug(o.debugAddr, srv, reg, tracer)
+	}
+
 	if o.tokenTimeout > 0 || o.syncRetry > 0 {
 		shortest := o.tokenTimeout
 		if o.syncRetry > 0 && (shortest == 0 || o.syncRetry < shortest) {
@@ -269,7 +288,59 @@ func runServer(o serverOpts) error {
 	close(stop)
 	wg.Wait()
 	fmt.Println(srv.StatsLine())
+	if o.tracePath != "" && tracer != nil {
+		if err := writeTraceFile(o.tracePath, tracer); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// serveServerDebug starts the server-role debug endpoint: expvar
+// (/debug/vars), pprof (/debug/pprof), the Prometheus text exposition
+// (/debug/metrics), the health-plane telemetry snapshot
+// (/debug/telemetry, consumed by spyker-mon), and — when tracing — the
+// live event buffer as JSONL (/debug/trace, mergeable across processes
+// with spyker-trace).
+func serveServerDebug(addr string, srv *live.Server, reg *obs.Registry, tracer *obs.Tracer) {
+	expvar.Publish("spyker", expvar.Func(func() any { return reg.Snapshot() }))
+	http.HandleFunc("/debug/telemetry", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := obs.WriteTelemetry(w, srv.Telemetry()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	http.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		srv.Telemetry() // refresh the health gauges before rendering
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	if tracer != nil {
+		http.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/jsonl")
+			_ = tracer.WriteJSONL(w)
+		})
+	}
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "debug server: %v\n", err)
+		}
+	}()
+	fmt.Printf("debug endpoint: http://%s/debug/telemetry, /debug/metrics, /debug/vars, /debug/pprof\n", addr)
+}
+
+func writeTraceFile(path string, tracer *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracer.WriteJSONL(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runClients runs the whole deployment's client population in this

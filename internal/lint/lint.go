@@ -64,7 +64,7 @@ func DefaultConfig() *Config {
 			"internal/data", "internal/fl", "internal/simulation",
 			"internal/geo", "internal/spyker", "internal/baselines",
 			"internal/compress", "internal/metrics", "internal/cluster",
-			"internal/fault", "internal/ring",
+			"internal/fault", "internal/ring", "internal/obs/health",
 			"internal/lint/testdata/src/determinism",
 		},
 		SinkCallbackPkgs: []string{

@@ -96,6 +96,9 @@ func NewServerFromCheckpoint(addr string, st spyker.State) (*Server, error) {
 	s.core = core
 	s.memEpoch = core.Epoch()
 	s.updates.Store(int64(sumUpdates(st.Updates)))
+	if core.HasToken() {
+		s.tokenSeen, s.tokenSeenValid = s.clock(), true
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil

@@ -156,6 +156,20 @@ type Server struct {
 	clientDelay time.Duration // injected one-way latency on client links
 	updates     atomic.Int64
 
+	// tokenSeen is the clock() stamp of the last token frame this server
+	// sent or received — the raw input of the token-silence health
+	// signal. Regenerating a token locally does NOT count: a stuck
+	// post-regeneration holder must still read as silent. Guarded by mu.
+	tokenSeen      float64
+	tokenSeenValid bool
+
+	// reconnects counts successful peer redials (reconnect loop, elastic
+	// rewiring, join bootstrap); debugAddr is the operator-announced
+	// address of this process's debug HTTP endpoint, echoed in telemetry
+	// so monitors can discover it (guarded by mu).
+	reconnects atomic.Int64
+	debugAddr  string
+
 	// pool recycles the model-sized buffers outbound frames are copied
 	// into (the core's Outbound contract only lends its vector for the
 	// duration of the call); outbox goroutines return them after sending.
@@ -217,6 +231,10 @@ func NewServer(id int, addr string, cfg spyker.Config, initial []float64, holdsT
 	s := newShell(id, cfg, l)
 	s.core = spyker.NewServerCore(cfg, initial, holdsToken, (*serverOutbound)(s))
 	s.memEpoch = s.core.Epoch()
+	if holdsToken {
+		// The minted token counts as movement: silence starts now.
+		s.tokenSeen, s.tokenSeenValid = s.clock(), true
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -517,6 +535,7 @@ func (s *Server) redialFailedPeers(addrOf func(id int) string) {
 		if err != nil {
 			continue // peer still down; try again next period
 		}
+		s.reconnects.Add(1)
 		s.mu.Lock()
 		if s.closing.Load() {
 			s.mu.Unlock()
@@ -829,6 +848,7 @@ func (s *Server) dispatch(m *transport.Msg) {
 		s.maybeRewire()
 	case transport.KindToken:
 		s.noteRecv(obs.ServerNode+m.From, m)
+		s.tokenSeen, s.tokenSeenValid = s.clock(), true
 		s.absorbHeader(m)
 		s.core.HandleToken(spyker.Token{
 			Bid: m.Bid, Ages: m.Ages,
@@ -951,13 +971,15 @@ func (o *serverOutbound) BroadcastAge(age float64, mem ring.Membership) {
 
 func (o *serverOutbound) SendToken(t spyker.Token, next int) {
 	if p := o.peers[next]; p != nil {
+		s := (*Server)(o)
 		m := &transport.Msg{
 			Kind: transport.KindToken, From: o.ID, Bid: t.Bid, Ages: t.Ages,
 			Trace: transport.Trace{UID: obs.RoundUID(o.ID, t.Bid)},
 			Epoch: t.Mem.Epoch, Members: t.Mem.Members,
-			Addrs: (*Server)(o).addrsFor(t.Mem.Members),
+			Addrs: s.addrsFor(t.Mem.Members),
 		}
-		(*Server)(o).noteSend(obs.ServerNode+next, m)
+		s.noteSend(obs.ServerNode+next, m)
+		s.tokenSeen, s.tokenSeenValid = s.clock(), true
 		p.enqueue(m)
 	}
 }

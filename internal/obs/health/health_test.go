@@ -1,0 +1,285 @@
+package health
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/spyker-fl/spyker/internal/obs"
+)
+
+func pass(t float64, from, to int) obs.Event {
+	return obs.Event{Time: t, Kind: obs.KindTokenPass, Node: from, Peer: to}
+}
+
+func update(t float64, srv int, stale float64) obs.Event {
+	return obs.Event{Time: t, Kind: obs.KindClientUpdate, Node: srv, Peer: 7, Stale: stale}
+}
+
+func syncStart(t float64, srv int) obs.Event {
+	return obs.Event{Time: t, Kind: obs.KindSyncStart, Node: srv, Peer: obs.NoPeer, Bid: 1}
+}
+
+func epoch(t float64, srv, ep int) obs.Event {
+	return obs.Event{Time: t, Kind: obs.KindMembership, Node: srv, Peer: obs.NoPeer, Bid: ep, Note: "observed"}
+}
+
+func findAlert(alerts []Alert, r Rule) *Alert {
+	for i := range alerts {
+		if alerts[i].Rule == r {
+			return &alerts[i]
+		}
+	}
+	return nil
+}
+
+// Each rule: drive the evaluator into the alert, assert the typed alert
+// and state, then drive recovery and assert the clear.
+
+func TestTokenSilenceRule(t *testing.T) {
+	e := New(Config{TokenTimeout: 2}) // stall threshold 4s
+	for i := 0; i < 5; i++ {
+		e.Observe(pass(float64(i), i%2, (i+1)%2))
+	}
+	if got := e.State(); got != Healthy {
+		t.Fatalf("state after regular passes = %v", got)
+	}
+	e.AdvanceTo(8) // last pass t=4, silence 4s: at the threshold, not past
+	if got := e.State(); got != Healthy {
+		t.Fatalf("state at exactly the threshold = %v", got)
+	}
+	e.AdvanceTo(8.5)
+	if got := e.State(); got != Stalled {
+		t.Fatalf("state past the threshold = %v", got)
+	}
+	a := findAlert(e.ActiveAlerts(), RuleTokenSilence)
+	if a == nil {
+		t.Fatal("no token-silence alert")
+	}
+	if a.Severity != Stalled || a.Raised != 8 || a.Node != obs.NoPeer {
+		t.Errorf("alert = %+v", *a)
+	}
+	if !strings.Contains(a.Detail, "token") {
+		t.Errorf("detail does not name token silence: %q", a.Detail)
+	}
+	e.Observe(pass(9, 0, 1)) // the ring moves again
+	if got := e.State(); got != Healthy {
+		t.Fatalf("state after recovery = %v", got)
+	}
+	a = findAlert(e.Alerts(), RuleTokenSilence)
+	if a.Active || a.Cleared != 9 {
+		t.Errorf("alert not cleared at recovery: %+v", *a)
+	}
+}
+
+func TestTokenSilenceFromTelemetry(t *testing.T) {
+	e := New(Config{}) // TokenTimeout adopted from snapshots
+	snap := func(srv int, at, silence, tmo float64) {
+		e.ObserveTelemetry(&obs.Telemetry{
+			Version: obs.TelemetryVersion, Server: srv,
+			TokenSilence: silence, TokenTimeout: tmo,
+		}, at)
+	}
+	snap(0, 1, 0.1, 1.5)
+	snap(1, 1, 0.4, 1.5)
+	if e.TokenTimeout() != 1.5 {
+		t.Fatalf("adopted timeout = %v", e.TokenTimeout())
+	}
+	if got := e.State(); got != Healthy {
+		t.Fatalf("state = %v", got)
+	}
+	// every server goes quiet: silences grow past 2x1.5 = 3s
+	snap(0, 5, 4.1, 1.5)
+	snap(1, 5, 4.4, 1.5)
+	if got := e.State(); got != Stalled {
+		t.Fatalf("state with cluster-wide silence = %v", got)
+	}
+	// one server vouches for fresh movement: cleared
+	snap(1, 6, 0.2, 1.5)
+	if got := e.State(); got != Healthy {
+		t.Fatalf("state after movement = %v", got)
+	}
+}
+
+func TestEpochDivergenceRule(t *testing.T) {
+	e := New(Config{EpochGrace: 3})
+	e.Observe(epoch(0, 0, 1))
+	e.Observe(epoch(0, 1, 1))
+	e.AdvanceTo(10)
+	if got := e.State(); got != Healthy {
+		t.Fatalf("agreeing epochs flagged: %v", got)
+	}
+	e.Observe(epoch(10, 1, 2)) // server 1 moves to epoch 2, server 0 lags
+	e.AdvanceTo(12)
+	if got := e.State(); got != Healthy {
+		t.Fatalf("divergence inside grace flagged: %v", got)
+	}
+	e.AdvanceTo(14)
+	a := findAlert(e.ActiveAlerts(), RuleEpochDivergence)
+	if a == nil || e.State() != Degraded {
+		t.Fatalf("no divergence alert: state=%v alerts=%+v", e.State(), e.Alerts())
+	}
+	if a.Node != 0 || a.Raised != 13 {
+		t.Errorf("alert = %+v", *a)
+	}
+	e.Observe(epoch(15, 0, 2)) // laggard catches up
+	if got := e.State(); got != Healthy {
+		t.Fatalf("state after convergence = %v", got)
+	}
+}
+
+func TestOutboxBacklogRule(t *testing.T) {
+	e := New(Config{BacklogRise: 3, BacklogMin: 8})
+	snap := func(at float64, depth int) {
+		e.ObserveTelemetry(&obs.Telemetry{
+			Version: obs.TelemetryVersion, Server: 0,
+			Peers: []obs.TelemetryPeer{{Peer: 1, OutboxDepth: depth}},
+		}, at)
+	}
+	for i, d := range []int{2, 9, 10, 11} { // rising but streak only 3 at i=3
+		snap(float64(i), d)
+	}
+	if got := e.State(); got != Degraded {
+		t.Fatalf("state after monotone backlog growth = %v", got)
+	}
+	a := findAlert(e.ActiveAlerts(), RuleOutboxBacklog)
+	if a == nil || a.Node != 0 || a.Peer != 1 {
+		t.Fatalf("alert = %+v", a)
+	}
+	snap(4, 3) // queue drained
+	if got := e.State(); got != Healthy {
+		t.Fatalf("state after drain = %v", got)
+	}
+	// shallow queues may rise forever without alerting
+	e2 := New(Config{BacklogRise: 3, BacklogMin: 8})
+	for i, d := range []int{1, 2, 3, 4, 5, 6, 7} {
+		e2.ObserveTelemetry(&obs.Telemetry{
+			Version: obs.TelemetryVersion, Server: 0,
+			Peers: []obs.TelemetryPeer{{Peer: 1, OutboxDepth: d}},
+		}, float64(i))
+	}
+	if got := e2.State(); got != Healthy {
+		t.Fatalf("shallow rising queue flagged: %v", got)
+	}
+}
+
+func TestStalenessBlowupRule(t *testing.T) {
+	e := New(Config{StalenessChunk: 4, StalenessRise: 3, StalenessFactor: 2})
+	at := 0.0
+	chunk := func(mean float64) {
+		for i := 0; i < 4; i++ {
+			e.Observe(update(at, 0, mean))
+			at += 0.1
+		}
+	}
+	chunk(1) // baseline
+	chunk(1)
+	chunk(2)
+	chunk(3)
+	if got := e.State(); got != Healthy {
+		t.Fatalf("state before the full rise streak = %v", got)
+	}
+	chunk(4) // third consecutive rise, 4x the best chunk
+	if got := e.State(); got != Degraded {
+		t.Fatalf("state after staleness blow-up = %v", got)
+	}
+	a := findAlert(e.ActiveAlerts(), RuleStalenessBlowup)
+	if a == nil || !strings.Contains(a.Detail, "staleness") {
+		t.Fatalf("alert = %+v", a)
+	}
+	chunk(1.5) // distribution falls back
+	if got := e.State(); got != Healthy {
+		t.Fatalf("state after staleness recovery = %v", got)
+	}
+}
+
+func TestSyncFlatlineRule(t *testing.T) {
+	e := New(Config{FlatlineFactor: 4})
+	for i := 0; i < 4; i++ { // cadence ~1s
+		e.Observe(syncStart(float64(i), 0))
+	}
+	// updates keep arriving, no further rounds: threshold 3+4x1 = 7
+	at := 3.5
+	for at < 6.9 {
+		e.Observe(update(at, 0, 0.5))
+		at += 0.5
+	}
+	if got := e.State(); got != Healthy {
+		t.Fatalf("state inside the cadence allowance = %v", got)
+	}
+	e.Observe(update(7.5, 0, 0.5))
+	if got := e.State(); got != Degraded {
+		t.Fatalf("state after flatline = %v", got)
+	}
+	a := findAlert(e.ActiveAlerts(), RuleSyncFlatline)
+	if a == nil || a.Raised != 7 {
+		t.Fatalf("alert = %+v", a)
+	}
+	e.Observe(syncStart(8, 1))
+	if got := e.State(); got != Healthy {
+		t.Fatalf("state after rounds resume = %v", got)
+	}
+
+	// a quiet cluster (no updates flowing) never flatlines
+	e2 := New(Config{FlatlineFactor: 4})
+	for i := 0; i < 4; i++ {
+		e2.Observe(syncStart(float64(i), 0))
+	}
+	e2.AdvanceTo(100)
+	if got := e2.State(); got != Healthy {
+		t.Fatalf("idle cluster flagged: %v", got)
+	}
+}
+
+func TestOfflineRunAndReport(t *testing.T) {
+	// a healthy prefix, a 20s hole in token movement, recovery
+	var events []obs.Event
+	at := 0.0
+	for i := 0; i < 10; i++ {
+		events = append(events, pass(at, i%3, (i+1)%3))
+		at += 1.0
+	}
+	events = append(events, pass(at+20, 0, 1), pass(at+21, 1, 2))
+
+	ev := Run(events, Config{}) // TokenTimeout calibrated: 4 x median gap 1s
+	if ev.TokenTimeout() != 4 {
+		t.Fatalf("calibrated timeout = %v", ev.TokenTimeout())
+	}
+	alerts := ev.Alerts()
+	a := findAlert(alerts, RuleTokenSilence)
+	if a == nil {
+		t.Fatal("offline run missed the stall")
+	}
+	if a.Active {
+		t.Errorf("stall not cleared by recovery: %+v", *a)
+	}
+	if ev.State() != Healthy {
+		t.Errorf("final state = %v", ev.State())
+	}
+
+	var b strings.Builder
+	if err := ev.WriteReport(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"state: healthy", "token-silence", "cleared"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSinkAdapter(t *testing.T) {
+	s := NewSink(New(Config{TokenTimeout: 2}))
+	if !s.Enabled() {
+		t.Fatal("sink disabled")
+	}
+	s.Emit(pass(0, 0, 1))
+	s.Emit(pass(1, 1, 0))
+	s.AdvanceTo(10)
+	if got := s.State(); got != Stalled {
+		t.Fatalf("state through sink = %v", got)
+	}
+	if len(s.ActiveAlerts()) != 1 || len(s.Alerts()) != 1 {
+		t.Fatalf("alerts through sink: %+v", s.Alerts())
+	}
+}

@@ -1,0 +1,61 @@
+package health
+
+import (
+	"sync"
+
+	"github.com/spyker-fl/spyker/internal/obs"
+)
+
+// Sink adapts an Evaluator to the obs.Sink interface so the health
+// model can ride along a DES run or a live server as one more passive
+// consumer: it only folds events into the evaluator's own state and
+// never calls back into the instrumented system. The mutex makes it
+// safe for concurrent emitters (the live runtime); under the DES it
+// merely serializes an already-serial stream.
+type Sink struct {
+	mu sync.Mutex
+	ev *Evaluator
+}
+
+// NewSink wraps ev; ev must not be used directly while the sink is
+// attached (use the locked accessors below).
+func NewSink(ev *Evaluator) *Sink { return &Sink{ev: ev} }
+
+// Enabled reports true: an attached health sink always listens.
+func (s *Sink) Enabled() bool { return true }
+
+// Emit folds one event into the evaluator.
+func (s *Sink) Emit(ev obs.Event) {
+	s.mu.Lock()
+	s.ev.Observe(ev)
+	s.mu.Unlock()
+}
+
+// State reports the evaluator's current classification.
+func (s *Sink) State() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ev.State()
+}
+
+// Alerts returns a copy of every alert raised so far.
+func (s *Sink) Alerts() []Alert {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ev.Alerts()
+}
+
+// ActiveAlerts returns the alerts still active.
+func (s *Sink) ActiveAlerts() []Alert {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ev.ActiveAlerts()
+}
+
+// AdvanceTo forwards stream time to the evaluator (the DES driver calls
+// this between event batches so purely time-based rules can fire).
+func (s *Sink) AdvanceTo(now float64) {
+	s.mu.Lock()
+	s.ev.AdvanceTo(now)
+	s.mu.Unlock()
+}

@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MergedTrace is the result of aligning several per-process traces onto
+// one timeline.
+type MergedTrace struct {
+	// Events is the merged, time-sorted event stream with every input
+	// trace's timestamps shifted onto the reference clock (input 0).
+	Events []Event
+	// Sources[i] is the server ID inferred as the emitter of input i.
+	Sources []int
+	// Offsets[i] is the clock offset (seconds) subtracted from every
+	// timestamp of input i to map it onto the reference clock: input i's
+	// clock read Offsets[i] more than input 0's at the same instant.
+	Offsets []float64
+	// Matched[i] is how many send/recv pairs constrained input i's offset
+	// (0 for the reference trace).
+	Matched []int
+}
+
+// MergeTraces aligns per-process JSONL traces onto one timeline. Each
+// live spyker-live server process stamps its events with its own
+// wall-seconds-since-start clock, so traces of one deployment are
+// mutually skewed by the processes' start times. The offsets are
+// estimated pairwise from matched message send/recv pairs on the
+// inter-server links (token handoffs and model/age broadcasts): a frame
+// a->b observed as KindMsgSend at a and KindMsgRecv at b bounds the
+// clock offset d_ab (b's clock minus a's) from above by recv-send, and a
+// frame b->a bounds it from below by send-recv; the midpoint of the
+// tightest bounds is the estimate — the classic NTP derivation. Matching
+// is FIFO per directed link, which stays a valid bound even when frames
+// were lost (a lost frame only loosens the upper bound, never corrupts
+// it), so merging traces of a run with crashes still works.
+//
+// The estimate errs by at most the asymmetry of the fastest frame's
+// one-way delays, and by construction every directly matched pair stays
+// causally ordered after the shift: a token handoff's recv never
+// precedes its send on the merged timeline.
+//
+// Every input must be a single-process trace (all events from one
+// server); offsets are propagated from trace 0 across the pairwise
+// estimates, so every input must be connected to the reference through
+// observed traffic. A single input is returned unchanged with offset 0.
+func MergeTraces(traces [][]Event) (*MergedTrace, error) {
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("obs: merge of zero traces")
+	}
+	m := &MergedTrace{
+		Sources: make([]int, len(traces)),
+		Offsets: make([]float64, len(traces)),
+		Matched: make([]int, len(traces)),
+	}
+	for i, tr := range traces {
+		id, err := traceSource(tr)
+		if err != nil {
+			return nil, fmt.Errorf("obs: merge input %d: %w", i, err)
+		}
+		m.Sources[i] = id
+	}
+	for i, a := range m.Sources {
+		for j := 0; j < i; j++ {
+			if m.Sources[j] == a {
+				return nil, fmt.Errorf("obs: merge inputs %d and %d both emitted by server %d", j, i, a)
+			}
+		}
+	}
+
+	if len(traces) > 1 {
+		if err := m.solveOffsets(traces); err != nil {
+			return nil, err
+		}
+	}
+
+	total := 0
+	for _, tr := range traces {
+		total += len(tr)
+	}
+	m.Events = make([]Event, 0, total)
+	for i, tr := range traces {
+		off := m.Offsets[i]
+		for _, e := range tr {
+			e.Time -= off
+			m.Events = append(m.Events, e)
+		}
+	}
+	sort.SliceStable(m.Events, func(i, j int) bool { return m.Events[i].Time < m.Events[j].Time })
+	return m, nil
+}
+
+// traceSource infers which server emitted a single-process trace: every
+// message event carries the emitter as its ServerNode-offset Node, and
+// every protocol event carries it as a raw index. All events must agree.
+func traceSource(events []Event) (int, error) {
+	id, found := 0, false
+	for i := range events {
+		e := &events[i]
+		var cand int
+		switch {
+		case e.Node >= ServerNode:
+			cand = e.Node - ServerNode
+		case e.Kind == KindMsgSend || e.Kind == KindMsgRecv:
+			continue // client-side message event (client IDs are ambiguous)
+		default:
+			cand = e.Node
+		}
+		if !found {
+			id, found = cand, true
+			continue
+		}
+		if cand != id {
+			return 0, fmt.Errorf("events from servers %d and %d: not a single-process trace", id, cand)
+		}
+	}
+	if !found {
+		return 0, fmt.Errorf("cannot infer the emitting server (no events)")
+	}
+	return id, nil
+}
+
+// linkBounds extracts the offset bounds between traces a (emitter ida)
+// and b (emitter idb): hi = min over matched a->b frames of recv-send,
+// lo = max over matched b->a frames of send-recv, so lo <= d_ab <= hi
+// where d_ab is b's clock minus a's.
+func linkBounds(a, b []Event, ida, idb int) (lo, hi float64, n int) {
+	lo, hi = math.Inf(-1), math.Inf(1)
+	fwd := matchedDeltas(a, b, ida, idb) // recv_b - send_a per matched frame
+	for _, d := range fwd {
+		if d < hi {
+			hi = d
+		}
+	}
+	rev := matchedDeltas(b, a, idb, ida) // recv_a - send_b
+	for _, d := range rev {
+		if -d > lo {
+			lo = -d
+		}
+	}
+	return lo, hi, len(fwd) + len(rev)
+}
+
+// matchedDeltas FIFO-matches the sender's KindMsgSend events to the
+// receiver's KindMsgRecv events on the directed link ids->idr and
+// returns recv-send per pair.
+func matchedDeltas(sender, receiver []Event, ids, idr int) []float64 {
+	var sends, recvs []float64
+	for i := range sender {
+		e := &sender[i]
+		if e.Kind == KindMsgSend && e.Node == ServerNode+ids && e.Peer == ServerNode+idr {
+			sends = append(sends, e.Time)
+		}
+	}
+	for i := range receiver {
+		e := &receiver[i]
+		if e.Kind == KindMsgRecv && e.Node == ServerNode+idr && e.Peer == ServerNode+ids {
+			recvs = append(recvs, e.Time)
+		}
+	}
+	n := len(sends)
+	if len(recvs) < n {
+		n = len(recvs)
+	}
+	out := make([]float64, n)
+	for k := 0; k < n; k++ {
+		out[k] = recvs[k] - sends[k]
+	}
+	return out
+}
+
+// solveOffsets propagates clock offsets from trace 0 across the pairwise
+// bound graph (breadth-first over traces connected by matched traffic).
+func (m *MergedTrace) solveOffsets(traces [][]Event) error {
+	n := len(traces)
+	type edge struct {
+		to  int
+		d   float64
+		cnt int
+	}
+	adj := make([][]edge, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			lo, hi, cnt := linkBounds(traces[i], traces[j], m.Sources[i], m.Sources[j])
+			if cnt == 0 {
+				continue
+			}
+			var d float64
+			switch {
+			case !math.IsInf(lo, -1) && !math.IsInf(hi, 1):
+				d = (lo + hi) / 2
+			case !math.IsInf(hi, 1):
+				d = hi // one-directional traffic: assume the fastest frame was instant
+			default:
+				d = lo
+			}
+			adj[i] = append(adj[i], edge{to: j, d: d, cnt: cnt})
+			adj[j] = append(adj[j], edge{to: i, d: -d, cnt: cnt})
+		}
+	}
+
+	seen := make([]bool, n)
+	seen[0] = true
+	queue := []int{0}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range adj[cur] {
+			if seen[e.to] {
+				continue
+			}
+			seen[e.to] = true
+			m.Offsets[e.to] = m.Offsets[cur] + e.d
+			m.Matched[e.to] = e.cnt
+			queue = append(queue, e.to)
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			return fmt.Errorf("obs: merge input %d (server %d) shares no matched traffic with the reference trace",
+				i, m.Sources[i])
+		}
+	}
+	return nil
+}

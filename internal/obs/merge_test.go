@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// synthetic two-server token ring: server a sends the token to server b
+// at true time t; b receives it delay later. Each process stamps events
+// with its own clock = true time + skew[process].
+type ringScribe struct {
+	skew   []float64
+	traces [][]Event
+}
+
+func newRingScribe(skew []float64) *ringScribe {
+	return &ringScribe{skew: skew, traces: make([][]Event, len(skew))}
+}
+
+func (rs *ringScribe) handoff(from, to int, at, delay float64) {
+	rs.traces[from] = append(rs.traces[from], Event{
+		Time: at + rs.skew[from], Kind: KindMsgSend,
+		Node: ServerNode + from, Peer: ServerNode + to, Bytes: 64, Note: "token",
+	})
+	rs.traces[to] = append(rs.traces[to], Event{
+		Time: at + delay + rs.skew[to], Kind: KindMsgRecv,
+		Node: ServerNode + to, Peer: ServerNode + from, Bytes: 64, Note: "token",
+	})
+	// the protocol core logs the pass with a raw server index
+	rs.traces[from] = append(rs.traces[from], Event{
+		Time: at + rs.skew[from], Kind: KindTokenPass, Node: from, Peer: to,
+	})
+}
+
+// TestMergeTracesRoundTrip: two heavily skewed single-process traces of
+// one token ring merge onto a timeline where every handoff is causally
+// ordered (recv after send) and the recovered offset matches the
+// synthetic skew.
+func TestMergeTracesRoundTrip(t *testing.T) {
+	rs := newRingScribe([]float64{0, 7.25})
+	at := 0.0
+	for i := 0; i < 20; i++ {
+		rs.handoff(0, 1, at, 0.012)
+		at += 0.1
+		rs.handoff(1, 0, at, 0.018)
+		at += 0.1
+	}
+	m, err := MergeTraces(rs.traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Sources[0] != 0 || m.Sources[1] != 1 {
+		t.Fatalf("sources = %v", m.Sources)
+	}
+	// the offset can err by at most the delay asymmetry of the two
+	// directions (here 6ms), and must recover the 7.25s skew
+	if math.Abs(m.Offsets[1]-7.25) > 0.006/2+1e-9 {
+		t.Errorf("offset = %v, want ~7.25", m.Offsets[1])
+	}
+	if m.Matched[1] != 40 {
+		t.Errorf("matched pairs = %d, want 40", m.Matched[1])
+	}
+	assertCausalHandoffs(t, m.Events)
+	if len(m.Events) != len(rs.traces[0])+len(rs.traces[1]) {
+		t.Errorf("merged %d events, want %d", len(m.Events), len(rs.traces[0])+len(rs.traces[1]))
+	}
+}
+
+// TestMergeTracesChain: three processes where 2 only ever talks to 1 —
+// the offset must propagate transitively through the spanning tree.
+func TestMergeTracesChain(t *testing.T) {
+	rs := newRingScribe([]float64{0, -3.5, 11})
+	at := 0.0
+	for i := 0; i < 10; i++ {
+		rs.handoff(0, 1, at, 0.01)
+		at += 0.1
+		rs.handoff(1, 2, at, 0.01)
+		at += 0.1
+		rs.handoff(2, 1, at, 0.01)
+		at += 0.1
+		rs.handoff(1, 0, at, 0.01)
+		at += 0.1
+	}
+	m, err := MergeTraces(rs.traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{0, -3.5, 11} {
+		if math.Abs(m.Offsets[i]-want) > 1e-9 { // symmetric delays: exact recovery
+			t.Errorf("offset[%d] = %v, want %v", i, m.Offsets[i], want)
+		}
+	}
+	assertCausalHandoffs(t, m.Events)
+}
+
+// TestMergeTracesLossy: dropping recv events (crashed receiver) must not
+// corrupt the estimate — FIFO drop-only matching keeps the bounds valid.
+func TestMergeTracesLossy(t *testing.T) {
+	rs := newRingScribe([]float64{0, 2})
+	at := 0.0
+	for i := 0; i < 12; i++ {
+		rs.handoff(0, 1, at, 0.01)
+		at += 0.1
+		rs.handoff(1, 0, at, 0.01)
+		at += 0.1
+	}
+	// lose the tail of trace 1: the last three frames never arrived
+	tr1 := rs.traces[1]
+	cut := 0
+	for i := len(tr1) - 1; i >= 0 && cut < 3; i-- {
+		if tr1[i].Kind == KindMsgRecv {
+			tr1 = append(tr1[:i], tr1[i+1:]...)
+			cut++
+		}
+	}
+	m, err := MergeTraces([][]Event{rs.traces[0], tr1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Offsets[1]-2) > 0.011 {
+		t.Errorf("offset = %v, want ~2", m.Offsets[1])
+	}
+	assertCausalHandoffs(t, m.Events)
+}
+
+func TestMergeTracesErrors(t *testing.T) {
+	if _, err := MergeTraces(nil); err == nil {
+		t.Error("merge of zero traces accepted")
+	}
+	one := []Event{{Time: 1, Kind: KindTokenPass, Node: 0}}
+	if _, err := MergeTraces([][]Event{one, one}); err == nil {
+		t.Error("two traces from the same server accepted")
+	}
+	mixed := []Event{
+		{Time: 1, Kind: KindTokenPass, Node: 0},
+		{Time: 2, Kind: KindTokenPass, Node: 1},
+	}
+	if _, err := MergeTraces([][]Event{mixed}); err == nil {
+		t.Error("multi-server trace accepted as single-process")
+	}
+	// no shared traffic: offsets cannot be solved
+	a := []Event{{Time: 1, Kind: KindTokenPass, Node: 0}}
+	b := []Event{{Time: 1, Kind: KindTokenPass, Node: 1}}
+	if _, err := MergeTraces([][]Event{a, b}); err == nil {
+		t.Error("disconnected traces accepted")
+	}
+	// single trace passes through untouched
+	m, err := MergeTraces([][]Event{mixedCopy(one)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Offsets[0] != 0 || len(m.Events) != 1 || m.Events[0].Time != 1 {
+		t.Errorf("single-trace merge perturbed events: %+v", m)
+	}
+}
+
+func mixedCopy(ev []Event) []Event { return append([]Event(nil), ev...) }
+
+// assertCausalHandoffs walks the merged stream and checks FIFO pairing
+// per directed server link: every matched recv lands at or after its
+// send on the merged timeline.
+func assertCausalHandoffs(t *testing.T, events []Event) {
+	t.Helper()
+	type link struct{ from, to int }
+	pending := map[link][]float64{}
+	matched := 0
+	for _, e := range events {
+		switch e.Kind {
+		case KindMsgSend:
+			l := link{e.Node, e.Peer}
+			pending[l] = append(pending[l], e.Time)
+		case KindMsgRecv:
+			l := link{e.Peer, e.Node}
+			q := pending[l]
+			if len(q) == 0 {
+				t.Fatalf("recv before any unmatched send on %v at t=%v", l, e.Time)
+			}
+			if e.Time < q[0]-1e-9 {
+				t.Errorf("handoff inverted: send at %v, recv at %v", q[0], e.Time)
+			}
+			pending[l] = q[1:]
+			matched++
+		}
+	}
+	if matched == 0 {
+		t.Fatal("no handoffs matched")
+	}
+}

@@ -74,9 +74,17 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 }
 
 // promName maps a registry metric name onto the Prometheus metric
-// charset [a-zA-Z0-9_:]; every other rune becomes an underscore, and a
-// leading digit gets an underscore prefix.
-func promName(name string) string {
+// charset; see PromName.
+func promName(name string) string { return PromName(name) }
+
+// PromName maps an arbitrary metric name onto the Prometheus metric
+// charset [a-zA-Z0-9_:]; every other rune becomes an underscore, a
+// leading digit gets an underscore prefix, and the empty name renders as
+// a single underscore (the exposition format has no empty identifiers).
+func PromName(name string) string {
+	if name == "" {
+		return "_"
+	}
 	var b strings.Builder
 	b.Grow(len(name) + 1)
 	for i, r := range name {
@@ -95,4 +103,61 @@ func promName(name string) string {
 		}
 	}
 	return b.String()
+}
+
+// PromLabelName maps an arbitrary label name onto the Prometheus label
+// charset [a-zA-Z0-9_] — like PromName but without ':', which is
+// reserved for metric names.
+func PromLabelName(name string) string {
+	return strings.ReplaceAll(PromName(name), ":", "_")
+}
+
+// PromLabelValue escapes a label value per the exposition format: label
+// values may contain any UTF-8, but backslash, double quote, and newline
+// must be escaped as \\, \", and \n. Carriage returns and tabs are
+// folded into \n and a space so a hostile value can never break out of
+// the quoted position or inject a second sample line.
+func PromLabelValue(v string) string {
+	var b strings.Builder
+	b.Grow(len(v))
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n', '\r':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteByte(' ')
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// PromLabel is one label of an exposition sample.
+type PromLabel struct{ Name, Value string }
+
+// WritePromSample writes one exposition sample with sanitized name and
+// labels and escaped label values: name{l1="v1",l2="v2"} value.
+func WritePromSample(w io.Writer, name string, labels []PromLabel, value float64) error {
+	if _, err := io.WriteString(w, PromName(name)); err != nil {
+		return err
+	}
+	if len(labels) > 0 {
+		sep := "{"
+		for _, l := range labels {
+			if _, err := fmt.Fprintf(w, `%s%s="%s"`, sep, PromLabelName(l.Name), PromLabelValue(l.Value)); err != nil {
+				return err
+			}
+			sep = ","
+		}
+		if _, err := io.WriteString(w, "}"); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, " %g\n", value)
+	return err
 }

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPromNameHostile feeds hostile metric and label names through the
+// sanitizers: everything outside the exposition charset must be folded
+// away so no input can corrupt the text format.
+func TestPromNameHostile(t *testing.T) {
+	cases := []struct {
+		in, name, label string
+	}{
+		{"spyker.updates", "spyker_updates", "spyker_updates"},
+		{"net.link_delay_s.s1->c4", "net_link_delay_s_s1__c4", "net_link_delay_s_s1__c4"},
+		{"a:b", "a:b", "a_b"}, // ':' legal in metric names, not label names
+		{"", "_", "_"},
+		{"7seconds", "_7seconds", "_7seconds"},
+		{"with space", "with_space", "with_space"},
+		{"quote\"brace{", "quote_brace_", "quote_brace_"},
+		{"new\nline", "new_line", "new_line"},
+		{"uni·code™", "uni_code_", "uni_code_"},
+		{"back\\slash", "back_slash", "back_slash"},
+	}
+	for _, c := range cases {
+		if got := PromName(c.in); got != c.name {
+			t.Errorf("PromName(%q) = %q, want %q", c.in, got, c.name)
+		}
+		if got := PromLabelName(c.in); got != c.label {
+			t.Errorf("PromLabelName(%q) = %q, want %q", c.in, got, c.label)
+		}
+	}
+}
+
+// TestPromLabelValueHostile: label values may hold any UTF-8 but the
+// three exposition escapes must be applied, and line breaks must never
+// survive verbatim (they would inject a second sample).
+func TestPromLabelValueHostile(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", "plain"},
+		{`back\slash`, `back\\slash`},
+		{`say "hi"`, `say \"hi\"`},
+		{"line\nbreak", `line\nbreak`},
+		{"cr\rlf\n", `cr\nlf\n`},
+		{"tab\there", "tab here"},
+		{`all "three" \ at
+once`, `all \"three\" \\ at\nonce`},
+		{"uni·code™ stays", "uni·code™ stays"},
+	}
+	for _, c := range cases {
+		got := PromLabelValue(c.in)
+		if got != c.want {
+			t.Errorf("PromLabelValue(%q) = %q, want %q", c.in, got, c.want)
+		}
+		if strings.ContainsAny(got, "\n\r") {
+			t.Errorf("PromLabelValue(%q) leaked a raw line break: %q", c.in, got)
+		}
+	}
+}
+
+func TestWritePromSample(t *testing.T) {
+	var b strings.Builder
+	err := WritePromSample(&b, "spyker.mon/up", []PromLabel{
+		{Name: "server", Value: "s1"},
+		{Name: "bad name", Value: "needs \"escaping\"\nhere\\"},
+	}, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `spyker_mon_up{server="s1",bad_name="needs \"escaping\"\nhere\\"} 2.5` + "\n"
+	if b.String() != want {
+		t.Errorf("sample = %q, want %q", b.String(), want)
+	}
+
+	b.Reset()
+	if err := WritePromSample(&b, "9bare", nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "_9bare 1\n" {
+		t.Errorf("bare sample = %q", b.String())
+	}
+}

@@ -41,6 +41,22 @@ type Summary struct {
 
 	BytesSent, BytesRecv int64
 	SyncRounds           int // distinct (node,bid) sync participations
+
+	// Incidents is the fault/recovery/membership timeline: every
+	// KindFault, KindTokenRegen, KindTokenRetire, and KindMembership
+	// event in time order.
+	Incidents  []Incident
+	EpochSpan  [2]int // lowest/highest membership epoch adopted (when any)
+	EpochMoves int    // KindMembership events
+}
+
+// Incident is one entry of the fault/recovery/membership timeline.
+type Incident struct {
+	Time float64
+	Kind EventKind
+	Node int
+	Bid  int    // token bid or membership epoch, kind-dependent
+	Note string // "crash", "restart", "stale-incoming", "admit", ...
 }
 
 // Summarize digests a trace. Events need not be sorted; they are ordered
@@ -101,6 +117,19 @@ func Summarize(events []Event) *Summary {
 			s.BytesSent += int64(e.Bytes)
 		case KindMsgRecv:
 			s.BytesRecv += int64(e.Bytes)
+		case KindFault, KindTokenRegen, KindTokenRetire, KindMembership:
+			s.Incidents = append(s.Incidents, Incident{
+				Time: e.Time, Kind: e.Kind, Node: e.Node, Bid: e.Bid, Note: e.Note,
+			})
+			if e.Kind == KindMembership {
+				if s.EpochMoves == 0 || e.Bid < s.EpochSpan[0] {
+					s.EpochSpan[0] = e.Bid
+				}
+				if s.EpochMoves == 0 || e.Bid > s.EpochSpan[1] {
+					s.EpochSpan[1] = e.Bid
+				}
+				s.EpochMoves++
+			}
 		}
 	}
 	if staleN > 0 {
@@ -190,6 +219,36 @@ func (s *Summary) WriteText(w io.Writer) {
 			st := s.TokenRTT[n]
 			fmt.Fprintf(w, "  node %d: %d round-trips, mean %.3fs, min %.3fs, max %.3fs\n",
 				n, st.Count, st.Mean, st.Min, st.Max)
+		}
+	}
+
+	if len(s.Incidents) > 0 {
+		fmt.Fprintf(w, "\nfaults, recovery, and membership (%d incidents):\n", len(s.Incidents))
+		const maxLines = 24
+		shown := s.Incidents
+		if len(shown) > maxLines {
+			shown = shown[:maxLines]
+		}
+		for _, inc := range shown {
+			extra := inc.Note
+			switch inc.Kind {
+			case KindTokenRegen, KindTokenRetire:
+				if extra != "" {
+					extra = fmt.Sprintf("bid %d (%s)", inc.Bid, extra)
+				} else {
+					extra = fmt.Sprintf("bid %d", inc.Bid)
+				}
+			case KindMembership:
+				extra = fmt.Sprintf("epoch %d (%s)", inc.Bid, inc.Note)
+			}
+			fmt.Fprintf(w, "  %9.3fs %-13s node %-3d %s\n", inc.Time, inc.Kind, inc.Node, extra)
+		}
+		if n := len(s.Incidents) - len(shown); n > 0 {
+			fmt.Fprintf(w, "  ... and %d more\n", n)
+		}
+		if s.EpochMoves > 0 {
+			fmt.Fprintf(w, "  membership epochs %d -> %d across %d adoption events\n",
+				s.EpochSpan[0], s.EpochSpan[1], s.EpochMoves)
 		}
 	}
 

@@ -264,6 +264,12 @@ func (s *ServerCore) Params() []float64 { return s.w }
 // Age returns the current model age A_i.
 func (s *ServerCore) Age() float64 { return s.age }
 
+// KnownAges returns a copy of this server's age-vector knowledge (what
+// it believes every member slot's model age to be, its own included).
+func (s *ServerCore) KnownAges() []float64 {
+	return append([]float64(nil), s.ages...)
+}
+
 // HasToken reports whether this server currently holds the token.
 func (s *ServerCore) HasToken() bool { return s.hasToken }
 
