@@ -49,6 +49,7 @@ import (
 	"github.com/spyker-fl/spyker/internal/live"
 	"github.com/spyker-fl/spyker/internal/nn"
 	"github.com/spyker-fl/spyker/internal/obs"
+	"github.com/spyker-fl/spyker/internal/obs/audit"
 )
 
 func main() {
@@ -61,6 +62,7 @@ func main() {
 	clientLatency := flag.Duration("client-latency", 0, "injected one-way latency on client links")
 	statsEvery := flag.Duration("stats-every", 0, "log a one-line per-server stats snapshot at this period (0 = off)")
 	tracePath := flag.String("trace", "", "write the protocol event trace to this JSONL file (see spyker-trace)")
+	auditOn := flag.Bool("audit", false, "arm the per-client contribution audit plane: anomaly verdicts go to the trace and /debug/telemetry (cluster and server roles)")
 	debugAddr := flag.String("debug-addr", "", "serve expvar (/debug/vars), pprof (/debug/pprof), Prometheus text (/debug/metrics) and — in server role — the telemetry snapshot (/debug/telemetry) on this address")
 
 	// Multi-process roles.
@@ -81,14 +83,14 @@ func main() {
 	switch *role {
 	case "cluster":
 		err = run(*servers, *clients, *duration, *seed, *peerLatency, *clientLatency,
-			*statsEvery, *tracePath, *debugAddr, *tokenTimeout, *syncRetry)
+			*statsEvery, *tracePath, *debugAddr, *tokenTimeout, *syncRetry, *auditOn)
 	case "server":
 		err = runServer(serverOpts{
 			id: *id, addr: *addr, peers: splitPeers(*peerList), clients: *clients,
 			seed: *seed, token: *token, ckptPath: *ckptPath, ckptEvery: *ckptEvery,
 			resume: *resume, tokenTimeout: *tokenTimeout, syncRetry: *syncRetry,
 			reconnectEvery: *reconnectEvery, statsEvery: *statsEvery, duration: *duration,
-			join: *join, debugAddr: *debugAddr, tracePath: *tracePath,
+			join: *join, debugAddr: *debugAddr, tracePath: *tracePath, audit: *auditOn,
 		})
 	case "clients":
 		err = runClients(splitPeers(*peerList), *clients, *seed, *duration)
@@ -157,6 +159,7 @@ type serverOpts struct {
 	join           string
 	debugAddr      string
 	tracePath      string
+	audit          bool
 }
 
 // runServer hosts exactly one live server in this process — the unit a
@@ -232,6 +235,9 @@ func runServer(o serverOpts) error {
 		sink = obs.Multi(tracer, sink)
 	}
 	srv.Instrument(sink, reg)
+	if o.audit {
+		srv.ArmAudit(audit.Config{})
+	}
 	if o.debugAddr != "" {
 		srv.SetDebugAddr(o.debugAddr)
 		serveServerDebug(o.debugAddr, srv, reg, tracer)
@@ -389,7 +395,7 @@ func runClients(peers []string, clients int, seed int64, duration time.Duration)
 }
 
 func run(servers, clients int, duration time.Duration, seed int64, peerLat, clientLat time.Duration,
-	statsEvery time.Duration, tracePath, debugAddr string, tokenTimeout, syncRetry float64) error {
+	statsEvery time.Duration, tracePath, debugAddr string, tokenTimeout, syncRetry float64, auditOn bool) error {
 	factory, shards, _, hyper := deployment(clients, servers, seed, tokenTimeout, syncRetry)
 
 	// Observability: a metrics registry always runs (it backs /debug/vars);
@@ -400,6 +406,10 @@ func run(servers, clients int, duration time.Duration, seed int64, peerLat, clie
 	if tracePath != "" {
 		tracer = obs.NewTracer(0)
 		sink = tracer
+	}
+	var auditCfg *audit.Config
+	if auditOn {
+		auditCfg = &audit.Config{}
 	}
 	if debugAddr != "" {
 		expvar.Publish("spyker", expvar.Func(func() any { return reg.Snapshot() }))
@@ -433,6 +443,7 @@ func run(servers, clients int, duration time.Duration, seed int64, peerLat, clie
 		ClientLatency: clientLat,
 		Trace:         sink,
 		Metrics:       reg,
+		Audit:         auditCfg,
 		StatsEvery:    statsEvery,
 		StatsOut:      os.Stderr,
 	}, duration)

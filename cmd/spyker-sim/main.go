@@ -15,6 +15,7 @@ import (
 
 	"github.com/spyker-fl/spyker/internal/experiments"
 	"github.com/spyker-fl/spyker/internal/obs"
+	"github.com/spyker-fl/spyker/internal/obs/audit"
 )
 
 func main() {
@@ -31,16 +32,17 @@ func main() {
 	csvPath := flag.String("csv", "", "write the accuracy trace to this CSV file")
 	tracePath := flag.String("trace", "", "write the protocol event trace to this JSONL file (see spyker-trace)")
 	chromePath := flag.String("chrome", "", "write the protocol event trace as a Chrome trace_event file (chrome://tracing, Perfetto)")
+	auditOn := flag.Bool("audit", false, "arm the per-client contribution audit plane; anomaly verdicts land in the trace (analyze with spyker-trace -mode audit)")
 	flag.Parse()
 
-	if err := run(*alg, *task, *servers, *clients, *nonIID, *target, *horizon, *maxUpdates, *seed, *uniform, *csvPath, *tracePath, *chromePath); err != nil {
+	if err := run(*alg, *task, *servers, *clients, *nonIID, *target, *horizon, *maxUpdates, *seed, *uniform, *auditOn, *csvPath, *tracePath, *chromePath); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
 func run(alg, task string, servers, clients, nonIID int, target, horizon float64,
-	maxUpdates int, seed int64, uniform bool, csvPath, tracePath, chromePath string) error {
+	maxUpdates int, seed int64, uniform, auditOn bool, csvPath, tracePath, chromePath string) error {
 	var t experiments.Task
 	switch task {
 	case "mnist":
@@ -69,6 +71,9 @@ func run(alg, task string, servers, clients, nonIID int, target, horizon float64
 	if tracePath != "" || chromePath != "" {
 		tracer = obs.NewTracer(0)
 		setup.Trace = tracer
+	}
+	if auditOn {
+		setup.Audit = &audit.Config{}
 	}
 	res, err := experiments.Run(alg, setup)
 	if err != nil {

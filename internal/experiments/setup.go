@@ -17,6 +17,7 @@ import (
 	"github.com/spyker-fl/spyker/internal/metrics"
 	"github.com/spyker-fl/spyker/internal/nn"
 	"github.com/spyker-fl/spyker/internal/obs"
+	"github.com/spyker-fl/spyker/internal/obs/audit"
 	"github.com/spyker-fl/spyker/internal/simulation"
 )
 
@@ -131,6 +132,12 @@ type Setup struct {
 	// simulated schedule is identical with and without one (see
 	// TestTracingDoesNotPerturbSimulation).
 	Trace obs.Sink
+	// Audit arms the per-client contribution audit plane
+	// (internal/obs/audit) on every server; verdicts are emitted as
+	// KindAudit events into Trace. Nil disables auditing entirely —
+	// like Trace, the audit plane is passive and leaves the schedule
+	// byte-identical (see TestAuditDoesNotPerturbSimulation).
+	Audit *audit.Config
 	// Metrics collects runtime counters/gauges/histograms; nil creates a
 	// private registry. When tracing is enabled the event stream is also
 	// bridged into the registry (staleness distribution, sync durations,
@@ -472,6 +479,7 @@ func BuildEnv(s Setup) (*fl.Env, *metrics.Recorder, error) {
 		Trace:      sink,
 		Metrics:    reg,
 		Faults:     s.Faults,
+		Audit:      s.Audit,
 	}
 	if s.Codec != nil {
 		env.Codec = s.Codec

@@ -13,6 +13,7 @@ import (
 	"github.com/spyker-fl/spyker/internal/fault"
 	"github.com/spyker-fl/spyker/internal/geo"
 	"github.com/spyker-fl/spyker/internal/obs"
+	"github.com/spyker-fl/spyker/internal/obs/audit"
 	"github.com/spyker-fl/spyker/internal/paramvec"
 	"github.com/spyker-fl/spyker/internal/simulation"
 )
@@ -261,6 +262,15 @@ type Env struct {
 	// nil. Buffers handed out by it must be fully overwritten before use
 	// and returned exactly once.
 	Pool *paramvec.Pool
+
+	// Audit, when non-nil, arms the per-client contribution audit plane
+	// (internal/obs/audit) on every server that supports it: each
+	// ServerCore gets its own streaming profiler, fed at delta-apply
+	// time, emitting KindAudit verdicts into Trace. Auditing is passive —
+	// it observes deltas and never feeds back — so an audited run's
+	// event schedule is byte-identical to an unaudited one. Nil (the
+	// default) skips the statistics entirely.
+	Audit *audit.Config
 
 	// Faults, when non-nil, declares the failure-injection plan for this
 	// run (internal/fault). Algorithms that support injection arm their

@@ -65,6 +65,7 @@ func DefaultConfig() *Config {
 			"internal/geo", "internal/spyker", "internal/baselines",
 			"internal/compress", "internal/metrics", "internal/cluster",
 			"internal/fault", "internal/ring", "internal/obs/health",
+			"internal/obs/audit",
 			"internal/lint/testdata/src/determinism",
 		},
 		SinkCallbackPkgs: []string{

@@ -9,6 +9,7 @@ import (
 
 	"github.com/spyker-fl/spyker/internal/fl"
 	"github.com/spyker-fl/spyker/internal/obs"
+	"github.com/spyker-fl/spyker/internal/obs/audit"
 )
 
 // ClusterConfig describes a local live deployment: n servers on ephemeral
@@ -32,6 +33,10 @@ type ClusterConfig struct {
 	// registry.
 	Trace   obs.Sink
 	Metrics *obs.Registry
+	// Audit arms the per-client contribution audit plane
+	// (internal/obs/audit) on every server; verdicts land in Trace as
+	// KindAudit events. Nil disables auditing.
+	Audit *audit.Config
 
 	// StatsEvery > 0 logs a one-line per-server stats snapshot to StatsOut
 	// at that period while the cluster runs (StatsOut nil = discard).
@@ -103,6 +108,9 @@ func RunCluster(cfg ClusterConfig, duration time.Duration) (*ClusterStats, error
 		srv.InjectLatency(cfg.PeerLatency, cfg.ClientLatency)
 		if sink != nil || cfg.Metrics != nil {
 			srv.Instrument(sink, cfg.Metrics)
+		}
+		if cfg.Audit != nil {
+			srv.ArmAudit(*cfg.Audit)
 		}
 		if cfg.Hyper.TokenTimeout > 0 || cfg.Hyper.SyncRetry > 0 {
 			srv.StartTokenTicker(tickerPeriod(cfg.Hyper.TokenTimeout, cfg.Hyper.SyncRetry))

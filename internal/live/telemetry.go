@@ -78,6 +78,8 @@ func (s *Server) Telemetry() *obs.Telemetry {
 		t.Peers = append(t.Peers, tp)
 	}
 
+	t.Audit = s.audit.Snapshot() // nil-safe: nil recorder -> no section
+
 	if s.reg != nil {
 		h := s.reg.Histogram(obs.MetricStaleness, obs.StalenessBuckets)
 		t.StalenessBounds = h.Bounds()

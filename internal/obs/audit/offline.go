@@ -1,0 +1,185 @@
+package audit
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"github.com/spyker-fl/spyker/internal/obs"
+)
+
+// ClientReport is the offline audit verdict timeline of one client as
+// reconstructed from a trace's KindAudit events.
+type ClientReport struct {
+	Client int
+	// Servers lists every server that flagged the client, sorted.
+	Servers []int
+	// Raises/Clears count verdict transitions and reasserts per rule
+	// name; FirstFlag/LastFlag bound the flagged timeline.
+	Raises    map[string]int
+	Clears    map[string]int
+	FirstFlag float64
+	LastFlag  float64
+	// Active lists the rules still flagging the client at end of trace
+	// (per last raise/clear transition, any server), in rule order.
+	Active []string
+	// LastScore is the score of the client's most recent raise event.
+	LastScore float64
+}
+
+// Report is the offline audit analysis of a (possibly merged
+// multi-process) trace.
+type Report struct {
+	// Events counts the trace's KindAudit events; Audited is how many
+	// distinct clients were ever flagged.
+	Events  int
+	Clients []ClientReport // sorted by client ID
+}
+
+// Replay reconstructs per-client audit verdicts from a time-ordered
+// event stream — the offline twin of the online recorder, used by
+// spyker-trace -mode audit over merged multi-process traces.
+func Replay(events []obs.Event) *Report {
+	rep := &Report{}
+	perClient := map[int]*ClientReport{}
+	var order []int
+	active := map[[2]int]map[string]bool{} // (server, client) -> rules
+	for i := range events {
+		e := &events[i]
+		if e.Kind != obs.KindAudit {
+			continue
+		}
+		rep.Events++
+		c, ok := perClient[e.Peer]
+		if !ok {
+			c = &ClientReport{
+				Client: e.Peer,
+				Raises: map[string]int{},
+				Clears: map[string]int{},
+			}
+			perClient[e.Peer] = c
+			order = append(order, e.Peer)
+		}
+		key := [2]int{e.Node, e.Peer}
+		if active[key] == nil {
+			active[key] = map[string]bool{}
+		}
+		if rule, cleared := strings.CutPrefix(e.Note, ClearPrefix); cleared {
+			c.Clears[rule]++
+			delete(active[key], rule)
+			continue
+		}
+		if sumCounts(c.Raises) == 0 {
+			c.FirstFlag = e.Time
+		}
+		c.Raises[e.Note]++
+		c.LastFlag = e.Time
+		c.LastScore = e.Score
+		active[key][e.Note] = true
+		found := false
+		for _, s := range c.Servers {
+			if s == e.Node {
+				found = true
+				break
+			}
+		}
+		if !found {
+			c.Servers = append(c.Servers, e.Node)
+		}
+	}
+	sort.Ints(order)
+	for _, id := range order {
+		c := perClient[id]
+		sort.Ints(c.Servers)
+		// Active rules: union over this client's (server, rule) states,
+		// reported in the fixed rule order.
+		for _, rule := range ruleNames {
+			on := false
+			for _, s := range c.Servers {
+				if active[[2]int{s, id}][rule] {
+					on = true
+					break
+				}
+			}
+			if on {
+				c.Active = append(c.Active, rule)
+			}
+		}
+		rep.Clients = append(rep.Clients, *c)
+	}
+	return rep
+}
+
+func sumCounts(m map[string]int) int {
+	n := 0
+	//lint:sorted only summed, order-independent
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// FlaggedClients returns the IDs of every client the trace flagged,
+// sorted.
+func (r *Report) FlaggedClients() []int {
+	var out []int
+	for i := range r.Clients {
+		out = append(out, r.Clients[i].Client)
+	}
+	return out
+}
+
+// FirstFlagTime reports when a client was first flagged (ok=false if it
+// never was).
+func (r *Report) FirstFlagTime(client int) (float64, bool) {
+	for i := range r.Clients {
+		if r.Clients[i].Client == client {
+			return r.Clients[i].FirstFlag, true
+		}
+	}
+	return 0, false
+}
+
+// WriteReport renders the per-client verdict table.
+func (r *Report) WriteReport(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "audit events: %d, flagged clients: %d\n", r.Events, len(r.Clients)); err != nil {
+		return err
+	}
+	if len(r.Clients) == 0 {
+		_, err := fmt.Fprintln(w, "no audit verdicts in this trace (audit plane disarmed, or every client looked honest)")
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-8s %-10s %-38s %10s %10s %9s\n",
+		"client", "servers", "rules (raises/clears)", "first", "last", "score"); err != nil {
+		return err
+	}
+	for i := range r.Clients {
+		c := &r.Clients[i]
+		srv := make([]string, 0, len(c.Servers))
+		for _, s := range c.Servers {
+			srv = append(srv, fmt.Sprintf("s%d", s))
+		}
+		var rules []string
+		for _, rule := range ruleNames {
+			if c.Raises[rule] == 0 && c.Clears[rule] == 0 {
+				continue
+			}
+			mark := ""
+			for _, a := range c.Active {
+				if a == rule {
+					mark = "*"
+					break
+				}
+			}
+			rules = append(rules, fmt.Sprintf("%s%s %d/%d", rule, mark, c.Raises[rule], c.Clears[rule]))
+		}
+		if _, err := fmt.Fprintf(w, "c%-7d %-10s %-38s %9.2fs %9.2fs %9.3f\n",
+			c.Client, strings.Join(srv, ","), strings.Join(rules, " "),
+			c.FirstFlag, c.LastFlag, c.LastScore); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "\n* = rule still active at end of trace")
+	return err
+}

@@ -75,6 +75,14 @@ const (
 	// epoch, Note = why ("admit", "exclude", or "observed" for epochs
 	// learned from message headers).
 	KindMembership
+	// KindAudit fires when the contribution audit plane
+	// (internal/obs/audit) changes its verdict about a client: Node =
+	// auditing server, Peer = audited client, Note = the rule name
+	// ("norm-outlier", "direction-inversion", "collusion" — prefixed
+	// "clear:" when the anomaly subsided), Score = the rule's score at
+	// the transition (robust z, median cosine, or pairwise similarity),
+	// Stale = the staleness of the client's latest update.
+	KindAudit
 )
 
 // kindNames maps kinds to their stable wire names (used in JSONL traces).
@@ -91,6 +99,7 @@ var kindNames = map[EventKind]string{
 	KindTokenRegen:   "token-regen",
 	KindTokenRetire:  "token-retire",
 	KindMembership:   "membership",
+	KindAudit:        "audit",
 }
 
 // kindByName is the inverse of kindNames, built once at init.
@@ -156,6 +165,10 @@ type Event struct {
 	Note  string    `json:"note,omitempty"`
 	UID   UID       `json:"uid,omitempty"`
 	Front []int64   `json:"front,omitempty"`
+	// Score carries the triggering rule's score on KindAudit events
+	// (zero elsewhere; traces written before the audit extension load
+	// with it zero).
+	Score float64 `json:"score,omitempty"`
 }
 
 // NoPeer marks events without a counterparty.

@@ -87,6 +87,19 @@ func (v Vec) DiffInto(x, y []float64) {
 	}
 }
 
+// Dot returns the inner product of v and x — the projection kernel the
+// contribution audit plane uses to compare update directions.
+//
+//spyker:noalloc
+func (v Vec) Dot(x []float64) float64 {
+	mustSameLen(len(v), len(x))
+	var s float64
+	for i := range v {
+		s += v[i] * x[i]
+	}
+	return s
+}
+
 // L2Norm returns the Euclidean norm of v.
 func (v Vec) L2Norm() float64 {
 	var s float64

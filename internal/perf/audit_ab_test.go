@@ -1,0 +1,102 @@
+package perf
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/spyker-fl/spyker/internal/obs"
+	"github.com/spyker-fl/spyker/internal/obs/audit"
+	"github.com/spyker-fl/spyker/internal/spyker"
+)
+
+// aggCore builds the exact core the spyker/server-aggregate scenario
+// measures, so the A/B assertions below gate the same hot path the
+// benchmark history (BENCH_*.json) tracks.
+func aggCore(seed int64) (*spyker.ServerCore, []float64) {
+	cfg := spyker.Config{
+		ID: 0, NumServers: 1, NumClients: 8,
+		EtaServer: 0.6, Phi: 1.5, EtaA: 0.6,
+		HInter: 1e18, HIntra: 1e18,
+		ClientLR: 0.05,
+	}
+	rng := rand.New(rand.NewSource(seed))
+	core := spyker.NewServerCore(cfg, randVec(rng, modelDim), false, nopOutbound{})
+	return core, randVec(rng, modelDim)
+}
+
+// TestAuditDisarmedZeroAlloc pins the passivity contract's perf half:
+// with no auditor armed, the client-update hot path stays at 0
+// allocs/op — the audit extension costs exactly one nil check.
+func TestAuditDisarmedZeroAlloc(t *testing.T) {
+	core, update := aggCore(7)
+	k := 0
+	step := func() {
+		core.HandleClientUpdate(k%8, update, core.Age())
+		k++
+	}
+	// Warm up: the first merge may grow the clip-path scratch once.
+	for i := 0; i < 16; i++ {
+		step()
+	}
+	if allocs := testing.AllocsPerRun(200, step); allocs != 0 {
+		t.Fatalf("disarmed server-aggregate: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestAuditArmedZeroAllocSteadyState checks the armed path too: once
+// every client's profile exists, auditing a merge reuses pooled scratch
+// and allocates nothing.
+func TestAuditArmedZeroAllocSteadyState(t *testing.T) {
+	core, update := aggCore(7)
+	core.ArmAudit(audit.NewRecorder(audit.Config{}, 0, obs.Nop{}))
+	k := 0
+	step := func() {
+		core.HandleClientUpdate(k%8, update, core.Age())
+		k++
+	}
+	// Warm up past profile creation and window fills for all 8 clients.
+	for i := 0; i < 8*24; i++ {
+		step()
+	}
+	if allocs := testing.AllocsPerRun(200, step); allocs != 0 {
+		t.Fatalf("armed server-aggregate: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestAuditArmedByteIdenticalModel is the passivity contract's
+// correctness half: an armed core merges to the byte-identical model an
+// unarmed core does, update for update.
+func TestAuditArmedByteIdenticalModel(t *testing.T) {
+	// A small dimension keeps 300 merges fast; the merge math is
+	// dimension-uniform.
+	const dim = 512
+	cfg := spyker.Config{
+		ID: 0, NumServers: 1, NumClients: 8,
+		EtaServer: 0.6, Phi: 1.5, EtaA: 0.6,
+		HInter: 1e18, HIntra: 1e18,
+		ClientLR: 0.05,
+	}
+	mk := func() *spyker.ServerCore {
+		r := rand.New(rand.NewSource(7))
+		return spyker.NewServerCore(cfg, randVec(r, dim), false, nopOutbound{})
+	}
+	plain := mk()
+	armed := mk()
+	armed.ArmAudit(audit.NewRecorder(audit.Config{}, 0, obs.Nop{}))
+
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 300; i++ {
+		u := randVec(rng, dim)
+		plain.HandleClientUpdate(i%8, u, plain.Age())
+		armed.HandleClientUpdate(i%8, u, armed.Age())
+	}
+	if plain.Age() != armed.Age() {
+		t.Fatalf("ages diverged: plain %v armed %v", plain.Age(), armed.Age())
+	}
+	pw, aw := plain.Params(), armed.Params()
+	for i := range pw {
+		if pw[i] != aw[i] {
+			t.Fatalf("model diverged at [%d]: plain %v armed %v", i, pw[i], aw[i])
+		}
+	}
+}

@@ -1,7 +1,10 @@
 package perf
 
 import (
+	"math/rand"
+
 	"github.com/spyker-fl/spyker/internal/obs"
+	"github.com/spyker-fl/spyker/internal/obs/audit"
 )
 
 func init() {
@@ -55,6 +58,42 @@ func init() {
 					return map[string]float64{
 						"events_emitted": float64(tracer.Total()),
 						"ring_dropped":   float64(tracer.Dropped()),
+					}
+				},
+			}, nil
+		},
+	})
+
+	// The cost of auditing one merged client update at model scale: L2
+	// norm, cosine against the reference direction, chunk signature and
+	// layer-profile EMAs, windowed robust statistics, and the three
+	// anomaly rules. This is the marginal per-update price a server pays
+	// for arming the contribution audit plane (the disarmed price is one
+	// nil check, gated by TestAuditDisarmedZeroAlloc).
+	Register(Scenario{
+		Name:  "obs/audit-stats",
+		Layer: LayerObs,
+		Smoke: true,
+		Setup: func() (Instance, error) {
+			const clients = 8
+			rng := rand.New(rand.NewSource(11))
+			rec := audit.NewRecorder(audit.Config{}, 0, obs.Nop{})
+			deltas := make([][]float64, clients)
+			for i := range deltas {
+				deltas[i] = randVec(rng, modelDim)
+			}
+			model := randVec(rng, modelDim)
+			k := 0
+			return Instance{
+				Step: func() {
+					age := float64(k)
+					rec.Observe(float64(k)*0.01, k%clients, deltas[k%clients], model, age, age+1)
+					k++
+				},
+				Extras: func() map[string]float64 {
+					return map[string]float64{
+						"updates_audited": float64(rec.Updates()),
+						"clients_flagged": float64(len(rec.Flagged())),
 					}
 				},
 			}, nil

@@ -192,6 +192,29 @@ type ServerCore struct {
 	// so an uninstrumented core pays one interface call per handler.
 	sink  obs.Sink
 	clock obs.Clock
+
+	// audit, when armed (ArmAudit), receives the raw delta of every
+	// client update at delta-apply time. Same passivity contract as
+	// sink: the auditor only observes, never feeds back, and a nil
+	// auditor skips the statistics entirely — the disarmed hot path is
+	// one pointer check, byte-identical to a pre-audit core.
+	audit Auditor
+}
+
+// Auditor receives every merged client-update delta — the contribution
+// audit plane (internal/obs/audit implements it). now is the core's
+// clock, delta the raw pre-clip difference between the client's update
+// and the server model, model the server's current parameter vector
+// (pre-merge), baseAge the age of the model the client trained from,
+// and age the server's current model age (staleness = age - baseAge).
+// Handing the auditor the model and both ages lets it subtract the
+// staleness drift — the server model's movement between the client's
+// receive and its send — and recover the client's pure training
+// contribution. delta and model are borrows valid only for the
+// duration of the call; implementations must not retain or mutate
+// them.
+type Auditor interface {
+	Observe(now float64, client int, delta, model []float64, baseAge, age float64)
 }
 
 // NewServerCore creates a server with the given initial model on the
@@ -257,6 +280,12 @@ func (s *ServerCore) Instrument(sink obs.Sink, clock obs.Clock) {
 	s.sink = sink
 	s.clock = clock
 }
+
+// ArmAudit attaches (or with nil detaches) the contribution audit
+// plane. Call before the first handler runs, alongside Instrument; a
+// restored or rebuilt core must be re-armed like it must be
+// re-instrumented.
+func (s *ServerCore) ArmAudit(a Auditor) { s.audit = a }
 
 // Params returns the live parameter vector (callers must not modify).
 func (s *ServerCore) Params() []float64 { return s.w }
@@ -536,6 +565,16 @@ func (s *ServerCore) HandleClientUpdateTraced(k int, params []float64, clientAge
 	}
 	staleness := s.age - clientAge
 	wk := StalenessWeight(s.age, clientAge)
+	if s.audit != nil {
+		// Audit sees the raw pre-clip delta. The clip path recomputes
+		// the same difference into the same scratch below — the model is
+		// untouched in between — so arming audit costs one extra diff
+		// and never an allocation.
+		s.ensureScratch(len(s.w))
+		d := s.deltaScratch[:len(s.w)]
+		d.DiffInto(params, s.w)
+		s.audit.Observe(s.clock(), k, d, s.w, clientAge, s.age)
+	}
 	s.applyClientDelta(params, s.cfg.EtaServer*wk*damp)
 	s.age++
 	s.ages[s.cfg.ID] = s.age

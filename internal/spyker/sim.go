@@ -8,6 +8,7 @@ import (
 	"github.com/spyker-fl/spyker/internal/fl"
 	"github.com/spyker-fl/spyker/internal/geo"
 	"github.com/spyker-fl/spyker/internal/obs"
+	"github.com/spyker-fl/spyker/internal/obs/audit"
 	"github.com/spyker-fl/spyker/internal/ring"
 )
 
@@ -60,6 +61,11 @@ type simServer struct {
 	core   *ServerCore
 	queue  *fl.ProcQueue
 	client map[int]*fl.SimClient
+
+	// audit is this server's contribution audit plane (nil unless
+	// Env.Audit armed it). It outlives core swaps: a restarted
+	// incarnation keeps auditing with the same per-client history.
+	audit *audit.Recorder
 
 	// Failure-injection state, only touched when faultsArmed. down marks
 	// a crashed server: arriving messages are discarded. left marks a
@@ -149,6 +155,10 @@ func (a *Algorithm) Build(env *fl.Env) error {
 		}
 		s.core = NewServerCore(cfg, initial, i == 0, s)
 		s.core.Instrument(env.Trace, env.Sim.Now)
+		if env.Audit != nil {
+			s.audit = audit.NewRecorder(*env.Audit, i, env.Trace)
+			s.core.ArmAudit(s.audit)
+		}
 		a.servers[i] = s
 	}
 	a.scheduleTicks(env)
@@ -295,6 +305,9 @@ func (a *Algorithm) Restart(i int) {
 		s.core = NewServerCore(s.cfg, a.initial, false, s)
 	}
 	s.core.Instrument(s.env.Trace, s.env.Sim.Now)
+	if s.audit != nil {
+		s.core.ArmAudit(s.audit)
+	}
 	s.down = false
 	s.epoch++
 	clear(s.heardSince)
@@ -388,6 +401,10 @@ func (a *Algorithm) Join(sponsor int) int {
 	}
 	ns.core = core
 	core.Instrument(env.Trace, env.Sim.Now)
+	if env.Audit != nil {
+		ns.audit = audit.NewRecorder(*env.Audit, newID, env.Trace)
+		core.ArmAudit(ns.audit)
+	}
 	if a.tickPeriod > 0 {
 		a.scheduleTickFor(env, ns, a.tickPeriod*(1+float64(newID)/float64(len(a.servers))))
 	}
