@@ -34,6 +34,9 @@ func TestFixturesExitNonzero(t *testing.T) {
 		{"noallocescape", "noalloc"},
 		{"sinkpassivity", "sinkpassivity"},
 		{"sendcheck", "sendcheck"},
+		{"lockdiscipline", "lockdiscipline"},
+		{"goroutinelife", "goroutinelife"},
+		{"paridiom", "paridiom"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.fixture, func(t *testing.T) {
@@ -80,6 +83,20 @@ func TestOnlyFilter(t *testing.T) {
 	if strings.Contains(stdout, "[noalloc]") || strings.Contains(stdout, "[sendcheck]") {
 		t.Errorf("-only determinism leaked other analyzers:\n%s", stdout)
 	}
+
+	// Same contract for the concurrency analyzers: lockdiscipline alone
+	// must flag its fixture, and a non-applicable analyzer must not.
+	if code, stdout, stderr := run(t, "-only", "goroutinelife", fixture("lockdiscipline")); code != 0 {
+		t.Errorf("-only goroutinelife on lockdiscipline fixture: exit %d, want 0\nstdout:\n%s\nstderr:\n%s",
+			code, stdout, stderr)
+	}
+	code, stdout, _ = run(t, "-only", "lockdiscipline", fixture("lockdiscipline"))
+	if code != 1 {
+		t.Fatalf("-only lockdiscipline: exit %d, want 1", code)
+	}
+	if strings.Contains(stdout, "[goroutinelife]") || strings.Contains(stdout, "[paridiom]") {
+		t.Errorf("-only lockdiscipline leaked other analyzers:\n%s", stdout)
+	}
 }
 
 // TestJSONOutput: -json must emit a machine-readable report whose
@@ -92,6 +109,7 @@ func TestJSONOutput(t *testing.T) {
 	var report struct {
 		Findings []struct {
 			Analyzer string `json:"analyzer"`
+			Rule     string `json:"rule"`
 			File     string `json:"file"`
 			Line     int    `json:"line"`
 			Message  string `json:"message"`
@@ -107,6 +125,11 @@ func TestJSONOutput(t *testing.T) {
 	for _, f := range report.Findings {
 		if f.Analyzer != "sendcheck" || f.File == "" || f.Line == 0 || f.Message == "" {
 			t.Errorf("malformed finding: %+v", f)
+		}
+		// The rule sub-field is the stable identifier tooling keys on:
+		// always "analyzer/rule", never empty or bare.
+		if !strings.HasPrefix(f.Rule, "sendcheck/") {
+			t.Errorf("finding rule = %q, want sendcheck/<rule>", f.Rule)
 		}
 	}
 }
@@ -138,7 +161,10 @@ func TestListAnalyzers(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit code = %d, want 0", code)
 	}
-	for _, name := range []string{"determinism", "noalloc", "sinkpassivity", "sendcheck"} {
+	for _, name := range []string{
+		"determinism", "noalloc", "sinkpassivity", "sendcheck",
+		"lockdiscipline", "goroutinelife", "paridiom",
+	} {
 		if !strings.Contains(stdout, name) {
 			t.Errorf("-list missing analyzer %s:\n%s", name, stdout)
 		}

@@ -329,6 +329,7 @@ func serveServerDebug(addr string, srv *live.Server, reg *obs.Registry, tracer *
 			_ = tracer.WriteJSONL(w)
 		})
 	}
+	//spyker:detached(debug HTTP endpoint serves for the process lifetime; the kernel reclaims the listener on exit)
 	go func() {
 		if err := http.ListenAndServe(addr, nil); err != nil {
 			fmt.Fprintf(os.Stderr, "debug server: %v\n", err)
@@ -421,6 +422,7 @@ func run(servers, clients int, duration time.Duration, seed int64, peerLat, clie
 				http.Error(w, err.Error(), http.StatusInternalServerError)
 			}
 		})
+		//spyker:detached(debug HTTP endpoint serves for the process lifetime; the kernel reclaims the listener on exit)
 		go func() {
 			// DefaultServeMux already carries /debug/pprof (via the pprof
 			// import) and /debug/vars (via expvar).

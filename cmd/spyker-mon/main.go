@@ -80,6 +80,7 @@ func main() {
 			w.Header().Set("Content-Type", "application/json")
 			_ = m.writeAudit(w)
 		})
+		//spyker:detached(monitor HTTP endpoint serves for the process lifetime; the kernel reclaims the listener on exit)
 		go func() {
 			if err := http.ListenAndServe(*addr, mux); err != nil {
 				fmt.Fprintf(os.Stderr, "spyker-mon: serve: %v\n", err)
@@ -129,11 +130,11 @@ type target struct {
 // for concurrent use (the poll loop and the HTTP handlers share it).
 type monitor struct {
 	mu      sync.Mutex
-	ev      *health.Evaluator
-	targets map[string]*target
-	order   []string // target addresses in discovery order
-	state   health.State
-	seen    int // alerts already logged
+	ev      *health.Evaluator  //spyker:guardedby(mu)
+	targets map[string]*target //spyker:guardedby(mu)
+	order   []string           //spyker:guardedby(mu) — target addresses in discovery order
+	state   health.State       //spyker:guardedby(mu)
+	seen    int                //spyker:guardedby(mu) — alerts already logged
 	portOff int
 	client  *http.Client
 	logw    io.Writer
@@ -147,14 +148,20 @@ func newMonitor(addrs []string, cfg health.Config, portOff int, client *http.Cli
 		client:  client,
 		logw:    logw,
 	}
+	// Uncontended (the monitor is not shared yet); keeps the guarded-field
+	// discipline uniform from the first write.
+	m.mu.Lock()
 	for _, a := range addrs {
 		m.addTarget(a)
 	}
+	m.mu.Unlock()
 	return m
 }
 
-// addTarget registers a debug address; call with mu held (or before the
-// monitor is shared). Returns false if already known.
+// addTarget registers a debug address; call with mu held. Returns false
+// if already known.
+//
+//spyker:locked(mu)
 func (m *monitor) addTarget(addr string) bool {
 	if _, ok := m.targets[addr]; ok {
 		return false
@@ -217,6 +224,8 @@ func (m *monitor) scrape(addr string) *obs.Telemetry {
 // with a known transport address gets a debug-endpoint guess at
 // transport port + offset. This is how the monitor tracks elastic
 // joins without reconfiguration. Caller holds mu.
+//
+//spyker:locked(mu)
 func (m *monitor) discover(t *obs.Telemetry) {
 	if m.portOff == 0 {
 		return
@@ -250,6 +259,8 @@ func offsetPort(addr string, off int) (string, bool) {
 
 // logTransitions prints newly raised/cleared alerts and overall state
 // changes. Caller holds mu.
+//
+//spyker:locked(mu)
 func (m *monitor) logTransitions(at float64) {
 	alerts := m.ev.Alerts()
 	for ; m.seen < len(alerts); m.seen++ {

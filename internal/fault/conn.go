@@ -26,10 +26,10 @@ type Conn struct {
 	inner transport.Sender
 
 	mu      sync.Mutex
-	rng     *rand.Rand
-	dropP   float64
-	delay   time.Duration
-	severed bool
+	rng     *rand.Rand    //spyker:guardedby(mu)
+	dropP   float64       //spyker:guardedby(mu)
+	delay   time.Duration //spyker:guardedby(mu)
+	severed bool          //spyker:guardedby(mu)
 }
 
 // WrapConn interposes a fault layer over inner. The seed feeds the

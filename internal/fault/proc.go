@@ -14,13 +14,13 @@ import (
 // caller passes -resume flags pointing at its checkpoint). This is the
 // process-level counterpart of SimInjector's KindCrash.
 type Proc struct {
-	bin  string
-	args []string
-	log  *os.File
+	bin string
+	log *os.File
 
 	mu   sync.Mutex
-	cmd  *exec.Cmd
-	done chan error
+	args []string   //spyker:guardedby(mu) — Restart appends; start snapshots
+	cmd  *exec.Cmd  //spyker:guardedby(mu)
+	done chan error //spyker:guardedby(mu)
 }
 
 // StartProc launches bin with args, appending stdout+stderr to logPath
@@ -40,7 +40,12 @@ func StartProc(bin string, args []string, logPath string) (*Proc, error) {
 }
 
 func (p *Proc) start() error {
-	cmd := exec.Command(p.bin, p.args...)
+	// Snapshot the argument list under the lock: Restart appends to it
+	// concurrently with nothing else, but the discipline is uniform.
+	p.mu.Lock()
+	args := append([]string(nil), p.args...)
+	p.mu.Unlock()
+	cmd := exec.Command(p.bin, args...)
 	cmd.Stdout = p.log
 	cmd.Stderr = p.log
 	if err := cmd.Start(); err != nil {

@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestRaceListCoversConcurrentPackages guards the hand-maintained CI
+// race list against drift: any package whose non-test sources contain a
+// `go` statement or a sync.Mutex/RWMutex struct field is concurrent by
+// construction and must appear in the `go test -race` step of
+// .github/workflows/ci.yml. A new goroutine or mutex in a package the
+// list forgot fails here with the package and the reason, instead of
+// shipping unraced.
+func TestRaceListCoversConcurrentPackages(t *testing.T) {
+	root := findModuleRoot(t)
+	listed := raceList(t, root)
+	concurrent := concurrentPackages(t, root)
+
+	pkgs := make([]string, 0, len(concurrent))
+	for pkg := range concurrent {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Strings(pkgs)
+	if len(pkgs) == 0 {
+		t.Fatal("found no concurrent packages at all; the detector is broken")
+	}
+	for _, pkg := range pkgs {
+		if !listed[pkg] {
+			t.Errorf("package ./%s has %s but is missing from the `go test -race` list in .github/workflows/ci.yml",
+				pkg, concurrent[pkg])
+		}
+	}
+}
+
+// findModuleRoot walks up from the test's working directory to go.mod.
+func findModuleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above the test directory")
+		}
+		dir = parent
+	}
+}
+
+// raceList extracts the package arguments of the `go test -race` CI step
+// as module-relative slash paths ("internal/live").
+func raceList(t *testing.T, root string) map[string]bool {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join(root, ".github", "workflows", "ci.yml"))
+	if err != nil {
+		t.Fatalf("reading CI workflow: %v", err)
+	}
+	m := regexp.MustCompile(`(?m)^\s*run:\s*go test -race (.+)$`).FindStringSubmatch(string(raw))
+	if m == nil {
+		t.Fatal("ci.yml has no `run: go test -race ...` step to guard")
+	}
+	listed := map[string]bool{}
+	for _, f := range strings.Fields(m[1]) {
+		if strings.HasPrefix(f, "-") {
+			continue
+		}
+		listed[strings.TrimPrefix(f, "./")] = true
+	}
+	if len(listed) == 0 {
+		t.Fatal("race step lists no packages")
+	}
+	return listed
+}
+
+// concurrentPackages maps each module-relative package directory whose
+// non-test sources spawn goroutines or declare mutex fields to a short
+// human reason.
+func concurrentPackages(t *testing.T, root string) map[string]string {
+	t.Helper()
+	fset := token.NewFileSet()
+	found := map[string]string{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "testdata":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return err
+		}
+		reason := concurrencyMarker(file)
+		if reason == "" {
+			return nil
+		}
+		rel, err := filepath.Rel(root, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		pkg := filepath.ToSlash(rel)
+		if found[pkg] == "" || reason < found[pkg] {
+			found[pkg] = reason
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking module: %v", err)
+	}
+	return found
+}
+
+// concurrencyMarker reports why a file makes its package concurrent: a
+// `go` statement, or a struct field of type sync.Mutex/RWMutex (named,
+// embedded, or pointer). Empty means neither.
+func concurrencyMarker(file *ast.File) string {
+	reason := ""
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			reason = "a `go` statement"
+			return false
+		case *ast.StructType:
+			for _, f := range n.Fields.List {
+				typ := f.Type
+				if star, ok := typ.(*ast.StarExpr); ok {
+					typ = star.X
+				}
+				if sel, ok := typ.(*ast.SelectorExpr); ok {
+					if id, ok := sel.X.(*ast.Ident); ok && id.Name == "sync" &&
+						(sel.Sel.Name == "Mutex" || sel.Sel.Name == "RWMutex") {
+						reason = "a sync." + sel.Sel.Name + " field"
+						return false
+					}
+				}
+			}
+		}
+		return reason == ""
+	})
+	return reason
+}

@@ -43,7 +43,7 @@ func runDeterminism(cfg *Config, pkg *Package) []Diagnostic {
 				if waived[line] || waived[line-1] {
 					return true
 				}
-				diags = append(diags, pkg.diag("determinism", n.Pos(),
+				diags = append(diags, pkg.diag("determinism", "map-range", n.Pos(),
 					"range over map %s has nondeterministic iteration order; sort the keys or waive with //lint:sorted", types.TypeString(t, nil)))
 			}
 			return true
@@ -62,14 +62,14 @@ func checkDeterministicCall(pkg *Package, call *ast.CallExpr) (Diagnostic, bool)
 	path := pkgPathOf(f)
 	switch {
 	case path == "time" && (f.Name() == "Now" || f.Name() == "Since"):
-		return pkg.diag("determinism", call.Pos(),
+		return pkg.diag("determinism", "wall-clock", call.Pos(),
 			"call to time.%s in deterministic package %s; thread the simulation clock instead", f.Name(), pkg.ImportPath), true
 	case path == "math/rand" || path == "math/rand/v2":
 		sig, ok := f.Type().(*types.Signature)
 		if !ok || sig.Recv() != nil || randConstructors[f.Name()] {
 			return Diagnostic{}, false // *rand.Rand method or seeded constructor: legal
 		}
-		return pkg.diag("determinism", call.Pos(),
+		return pkg.diag("determinism", "global-rand", call.Pos(),
 			"call to global rand.%s draws from the unseeded process-wide source; use a seeded *rand.Rand", f.Name()), true
 	}
 	return Diagnostic{}, false

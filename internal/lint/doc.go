@@ -52,9 +52,54 @@
 // errors silently. A call to an error-returning function or method of
 // internal/transport or internal/live whose name starts with Send, Recv,
 // Encode, Write, or Broadcast (plus gob/json Encode/Decode calls inside
-// those two packages) must consume the error; discarding it explicitly
+// the SendPkgs, which also cover the monitoring plane: cmd/spyker-mon
+// and cmd/spyker-live) must consume the error; discarding it explicitly
 // with `_ =` is the documented idiom for fire-and-forget teardown paths
 // and stays legal, while a bare call statement (or go/defer) is flagged.
+//
+// The three concurrency analyzers below share an intraprocedural CFG +
+// dataflow engine (cfg.go): basic blocks over go/ast with branch, loop,
+// defer, and panic edges, and an iterative forward fixpoint driver that
+// runs both must-analyses (meet = intersection, for "lock held on all
+// paths") and may-analyses (meet = union).
+//
+// lockdiscipline — the mutex protocol. A struct field annotated
+// //spyker:guardedby(mu) may only be accessed with the sibling mutex mu
+// held (Lock or RLock) on every CFG path to the access; element writes
+// (s.m[k] = v), deletes, and taking the field's address all count as
+// writes to the field. A function annotated //spyker:locked(mu) is
+// analyzed with mu held on entry, and same-package callers are checked
+// to hold it at the call site (receiver aliasing through pure views
+// like s := (*Server)(o) is resolved). Independent of annotations,
+// every function is screened for double acquisition of a held mutex and
+// for locks that may still be held at a return — the unlock must
+// post-dominate the lock or be deferred — and each file is screened for
+// lock-order inversion between mutex pairs. Finally, a completeness
+// rule: once a struct has any guarded field, writing an unannotated
+// non-mutex sibling while one of the struct's guard locks is held is
+// flagged — either the annotation is missing or the write does not
+// belong under the lock. This is what keeps the annotation set
+// load-bearing instead of decorative.
+//
+// goroutinelife — goroutines in the runtime packages (RuntimePkgs) must
+// not leak. Every `go` statement must be tied to a shutdown mechanism
+// the analyzer can see: a sync.WaitGroup Done whose Wait is visible in
+// the package, a captured done/stop channel the body receives from or
+// ranges over, a bounded (loop-free) body, or an explicit
+// //spyker:detached(reason) waiver on the statement (the documented
+// escape hatch for process-lifetime servers like the debug HTTP
+// endpoints, whose listeners the kernel reclaims at exit).
+//
+// paridiom — the sanctioned parallel-kernel form for the multicore work
+// (ROADMAP item 3). In the deterministic layers, a worker pool must use
+// fixed compile-time-visible chunk boundaries and an ordered combine:
+// workers write disjoint elements of an indexed result slice, and a
+// sequential loop reduces the slice afterwards. Receiving partial
+// results from a channel in completion order and folding them as they
+// arrive is flagged (floating-point reduction is order-sensitive), as
+// is accumulating into shared state from inside the workers. A loop
+// whose combine is provably order-independent carries
+// //spyker:ordered(reason).
 //
 // # Annotation contract
 //
@@ -73,4 +118,25 @@
 // map in a deterministic layer and documents why the iteration is safe;
 // prefer sorting the keys first and iterating the sorted slice where the
 // order reaches protocol, scheduling, or aggregation state.
+//
+// //spyker:guardedby(mu) goes on a struct field (trailing comment or
+// doc comment) and names a sibling sync.Mutex or sync.RWMutex field;
+// naming a mutex that does not exist is itself a finding. Constructor
+// writes to a value built in the same function (x := &T{}, new(T),
+// var x T) are exempt — no other goroutine can hold a reference yet.
+//
+// //spyker:locked(mu) goes on the doc comment of a function or method
+// and declares the named mutex held by the caller on entry. The body is
+// checked under that assumption, and same-package call sites are
+// checked to actually hold it.
+//
+// //spyker:detached(reason) goes on (or directly above) a `go`
+// statement in a runtime package and waives the shutdown-tie
+// requirement; the reason must say why the goroutine may outlive its
+// spawner. An empty reason is a finding.
+//
+// //spyker:ordered(reason) goes on (or directly above) a loop in a
+// deterministic layer that folds parallel partial results, and asserts
+// the combine is order-independent (e.g. integer summation, set union).
+// An empty reason is a finding.
 package lint

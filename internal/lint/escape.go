@@ -35,6 +35,7 @@ func escapeGate(pkg *Package, fns []noallocFn) []Diagnostic {
 	gateErr := func(err error) []Diagnostic {
 		return []Diagnostic{{
 			Analyzer: "noalloc",
+			Rule:     "noalloc/gate-error",
 			File:     pkg.GoFiles[0],
 			Line:     1,
 			Col:      1,
@@ -102,6 +103,7 @@ func escapeGate(pkg *Package, fns []noallocFn) []Diagnostic {
 			if m[1] == fn.file && lineNo >= fn.start && lineNo <= fn.end {
 				diags = append(diags, Diagnostic{
 					Analyzer: "noalloc",
+					Rule:     "noalloc/escape",
 					File:     m[1],
 					Line:     lineNo,
 					Col:      colNo,

@@ -11,8 +11,12 @@ import (
 )
 
 // Diagnostic is one finding: an invariant violation at a source position.
+// Rule is the stable machine-readable identifier of the specific check
+// that fired, namespaced by analyzer (e.g. "lockdiscipline/unguarded-read");
+// Message wording may evolve, Rule values do not.
 type Diagnostic struct {
 	Analyzer string `json:"analyzer"`
+	Rule     string `json:"rule"`
 	File     string `json:"file"`
 	Line     int    `json:"line"`
 	Col      int    `json:"col"`
@@ -44,6 +48,9 @@ type Config struct {
 	// SendPkgs are import-path suffixes whose error-returning send/encode
 	// calls must be consumed.
 	SendPkgs []string
+	// RuntimePkgs are import-path suffixes of the concurrent runtime
+	// packages whose goroutines must be tied to a shutdown mechanism.
+	RuntimePkgs []string
 	// EscapeGate enables the noalloc analyzer's `go tool compile -m` pass
 	// on packages containing //spyker:noalloc annotations.
 	EscapeGate bool
@@ -67,11 +74,22 @@ func DefaultConfig() *Config {
 			"internal/fault", "internal/ring", "internal/obs/health",
 			"internal/obs/audit",
 			"internal/lint/testdata/src/determinism",
+			"internal/lint/testdata/src/paridiom",
 		},
 		SinkCallbackPkgs: []string{
 			"internal/spyker", "internal/simulation", "internal/live",
 		},
-		SendPkgs:   []string{"internal/transport", "internal/live"},
+		SendPkgs: []string{
+			"internal/transport", "internal/live",
+			"cmd/spyker-mon", "cmd/spyker-live",
+		},
+		RuntimePkgs: []string{
+			"internal/live", "internal/transport", "internal/spyker",
+			"internal/paramvec", "internal/obs", "internal/obs/audit",
+			"internal/obs/health", "internal/fault", "internal/geo",
+			"internal/ring", "cmd/spyker-mon", "cmd/spyker-live",
+			"internal/lint/testdata/src/goroutinelife",
+		},
 		EscapeGate: true,
 	}
 }
@@ -96,8 +114,23 @@ func Analyzers() []*Analyzer {
 		},
 		{
 			Name: "sendcheck",
-			Doc:  "transport/live send and encode errors must be consumed or explicitly discarded",
+			Doc:  "transport/live/monitoring send and encode errors must be consumed or explicitly discarded",
 			Run:  runSendCheck,
+		},
+		{
+			Name: "lockdiscipline",
+			Doc:  "//spyker:guardedby fields accessed only under their mutex; no double-lock, leaked lock, or order inversion",
+			Run:  runLockDiscipline,
+		},
+		{
+			Name: "goroutinelife",
+			Doc:  "goroutines in the runtime packages must be tied to a shutdown mechanism or carry //spyker:detached",
+			Run:  runGoroutineLife,
+		},
+		{
+			Name: "paridiom",
+			Doc:  "parallel kernels in deterministic layers must use fixed chunks and an ordered (indexed-slice) combine",
+			Run:  runParIdiom,
 		},
 	}
 }
@@ -178,11 +211,13 @@ func hasPkgSuffix(importPath string, suffixes []string) bool {
 	return false
 }
 
-// diag builds a Diagnostic at pos.
-func (p *Package) diag(analyzer string, pos token.Pos, format string, args ...any) Diagnostic {
+// diag builds a Diagnostic at pos. rule is the analyzer-local stable
+// identifier of the check; the reported Rule is "analyzer/rule".
+func (p *Package) diag(analyzer, rule string, pos token.Pos, format string, args ...any) Diagnostic {
 	position := p.Fset.Position(pos)
 	return Diagnostic{
 		Analyzer: analyzer,
+		Rule:     analyzer + "/" + rule,
 		File:     position.Filename,
 		Line:     position.Line,
 		Col:      position.Column,

@@ -1,0 +1,737 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// lockdiscipline enforces the repository's mutex protocol through two
+// annotations:
+//
+//	//spyker:guardedby(mu)  on a struct field: every read or write of
+//	                        the field must happen with the sibling
+//	                        mutex field mu held (Lock or RLock) on all
+//	                        CFG paths to the access.
+//	//spyker:locked(mu)     on a function or method: the caller holds
+//	                        mu on entry. The body is analyzed with mu
+//	                        held, and same-package callers are checked
+//	                        to actually hold it at the call site.
+//
+// On top of the annotation checks, every function is screened for
+// double acquisition of a held mutex, for locks that may still be held
+// on some path to a return (unlock must post-dominate the lock or be
+// deferred), and — per file — for lock-order inversion between a pair
+// of mutexes.
+var (
+	guardedByRe = regexp.MustCompile(`^//spyker:guardedby\(([A-Za-z_][A-Za-z0-9_.]*)\)`)
+	lockedRe    = regexp.MustCompile(`^//spyker:locked\(([A-Za-z_][A-Za-z0-9_.]*)\)`)
+)
+
+// guardInfo records one annotated field: the lock that guards it and
+// the struct it lives in, for messages.
+type guardInfo struct {
+	lock       string
+	structName string
+	field      string
+}
+
+// sharedInfo records one UNannotated field of a struct that has opted
+// into guard annotations: writing it while one of the struct's guard
+// locks is held is either a missing annotation or a field that does not
+// belong under the lock — both worth a finding. This is what keeps the
+// annotation set complete: deleting a //spyker:guardedby from a field
+// that is still written under the lock resurfaces immediately.
+type sharedInfo struct {
+	structName string
+	field      string
+	locks      []string // locks guarding at least one sibling field
+}
+
+func runLockDiscipline(cfg *Config, pkg *Package) []Diagnostic {
+	ld := &lockChecker{pkg: pkg, guards: map[*types.Var]guardInfo{}, shared: map[*types.Var]sharedInfo{}, locked: map[*types.Func]string{}}
+	ld.collectGuards()
+	ld.collectLocked()
+	for _, file := range pkg.Files {
+		orders := map[[2]string]token.Pos{}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ld.checkFunc(fd, orders)
+			// Closures are separate execution contexts: analyze each with
+			// an empty entry lockset.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					ld.checkBody(lit.Body, flowSet{}, "func literal", lit.Pos(), orders)
+				}
+				return true
+			})
+		}
+		ld.reportInversions(orders)
+	}
+	return ld.diags
+}
+
+type lockChecker struct {
+	pkg        *Package
+	guards     map[*types.Var]guardInfo  // annotated field -> its guard
+	shared     map[*types.Var]sharedInfo // unannotated siblings in annotated structs
+	locked     map[*types.Func]string    // //spyker:locked functions -> lock name
+	localRoots map[types.Object]bool     // vars the current function constructed
+	aliases    map[string]string         // alias root -> canonical root (s := (*Server)(o))
+	diags      []Diagnostic
+}
+
+// canon rewrites a lockset key's root through the current function's
+// alias map, so `s := (*Server)(o)` makes "s.mu" and "o.mu" the same
+// lock. Alias chains resolve transitively with a small bound.
+func (ld *lockChecker) canon(key string) string {
+	if key == "" {
+		return ""
+	}
+	root, rest := key, ""
+	if i := strings.IndexByte(key, '.'); i >= 0 {
+		root, rest = key[:i], key[i:]
+	}
+	for i := 0; i < 8; i++ {
+		next, ok := ld.aliases[root]
+		if !ok {
+			break
+		}
+		root = next
+	}
+	return root + rest
+}
+
+// collectAliases records `s := expr` defines whose right-hand side is a
+// pure view of another tracked variable: a plain identifier, a pointer
+// type conversion like (*Server)(o), or &x / *x. Accesses through the
+// alias then count against the canonical variable's locks.
+func collectAliases(pkg *Package, body *ast.BlockStmt) map[string]string {
+	aliases := map[string]string{}
+	viewRoot := func(e ast.Expr) *ast.Ident {
+		for {
+			switch x := ast.Unparen(e).(type) {
+			case *ast.Ident:
+				return x
+			case *ast.StarExpr:
+				e = x.X
+			case *ast.UnaryExpr:
+				if x.Op != token.AND {
+					return nil
+				}
+				e = x.X
+			case *ast.CallExpr:
+				// A type conversion is a view, a real call is not.
+				if tv, ok := pkg.Info.Types[x.Fun]; !ok || !tv.IsType() || len(x.Args) != 1 {
+					return nil
+				}
+				e = x.Args[0]
+			default:
+				return nil
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			if root := viewRoot(as.Rhs[i]); root != nil && root.Name != id.Name {
+				aliases[id.Name] = root.Name
+			}
+		}
+		return true
+	})
+	return aliases
+}
+
+// collectGuards walks every named struct type, records the
+// //spyker:guardedby fields, and validates that the named lock is a
+// sibling sync.Mutex/RWMutex field.
+func (ld *lockChecker) collectGuards() {
+	for _, file := range ld.pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			mutexFields := map[string]bool{}
+			for _, f := range st.Fields.List {
+				if isMutexType(ld.pkg.Info.TypeOf(f.Type)) {
+					for _, name := range f.Names {
+						mutexFields[name.Name] = true
+					}
+				}
+			}
+			annotated := map[string]bool{} // field name -> has a guardedby annotation
+			var guardLocks []string        // locks guarding at least one field, in order
+			for _, f := range st.Fields.List {
+				lock, pos, ok := fieldGuardAnnotation(f)
+				if !ok {
+					continue
+				}
+				if !mutexFields[lock] {
+					ld.diags = append(ld.diags, ld.pkg.diag("lockdiscipline", "bad-annotation", pos,
+						"//spyker:guardedby(%s): struct %s has no sync.Mutex/RWMutex field named %s",
+						lock, ts.Name.Name, lock))
+					continue
+				}
+				seen := false
+				for _, l := range guardLocks {
+					seen = seen || l == lock
+				}
+				if !seen {
+					guardLocks = append(guardLocks, lock)
+				}
+				for _, name := range f.Names {
+					annotated[name.Name] = true
+					if v, ok := ld.pkg.Info.Defs[name].(*types.Var); ok {
+						ld.guards[v] = guardInfo{lock: lock, structName: ts.Name.Name, field: name.Name}
+					}
+				}
+			}
+			// A struct with any annotation has opted into the discipline:
+			// record its unannotated, non-mutex fields so writes to them
+			// under a guard lock surface as missing annotations.
+			if len(guardLocks) > 0 {
+				for _, f := range st.Fields.List {
+					if isMutexType(ld.pkg.Info.TypeOf(f.Type)) {
+						continue
+					}
+					for _, name := range f.Names {
+						if annotated[name.Name] {
+							continue
+						}
+						if v, ok := ld.pkg.Info.Defs[name].(*types.Var); ok {
+							ld.shared[v] = sharedInfo{structName: ts.Name.Name, field: name.Name, locks: guardLocks}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// fieldGuardAnnotation extracts a //spyker:guardedby directive from a
+// field's doc or trailing comment.
+func fieldGuardAnnotation(f *ast.Field) (lock string, pos token.Pos, ok bool) {
+	for _, group := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if group == nil {
+			continue
+		}
+		for _, c := range group.List {
+			if m := guardedByRe.FindStringSubmatch(c.Text); m != nil {
+				return m[1], c.Pos(), true
+			}
+		}
+	}
+	return "", token.NoPos, false
+}
+
+// collectLocked records the //spyker:locked(mu) functions of the
+// package: their bodies run with mu held by the caller.
+func (ld *lockChecker) collectLocked() {
+	for _, file := range ld.pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				m := lockedRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				if f, ok := ld.pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					ld.locked[f] = m[1]
+				}
+			}
+		}
+	}
+}
+
+// entryLockset computes the locks a function holds on entry from its
+// //spyker:locked annotation: receiver.lock for methods, the bare lock
+// name for plain functions.
+func (ld *lockChecker) entryLockset(fd *ast.FuncDecl) flowSet {
+	entry := flowSet{}
+	f, _ := ld.pkg.Info.Defs[fd.Name].(*types.Func)
+	lock, ok := ld.locked[f]
+	if !ok {
+		return entry
+	}
+	if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+		recv := fd.Recv.List[0].Names[0].Name
+		if recv != "_" {
+			entry[recv+"."+lock] = true
+			return entry
+		}
+	}
+	entry[lock] = true
+	return entry
+}
+
+func (ld *lockChecker) checkFunc(fd *ast.FuncDecl, orders map[[2]string]token.Pos) {
+	ld.checkBody(fd.Body, ld.entryLockset(fd), fd.Name.Name, fd.Name.Pos(), orders)
+}
+
+// checkBody runs the lockset dataflow over one function body and
+// reports violations. The must-analysis (intersection at joins) backs
+// the guarded-access and double-lock checks; the may-analysis (union)
+// backs the held-at-return check.
+func (ld *lockChecker) checkBody(body *ast.BlockStmt, entry flowSet, name string, namePos token.Pos, orders map[[2]string]token.Pos) {
+	ld.localRoots = localConstructions(ld.pkg, body)
+	ld.aliases = collectAliases(ld.pkg, body)
+	g := buildCFG(body)
+	transfer := func(n ast.Node, in flowSet) flowSet {
+		return ld.transfer(n, in)
+	}
+	inMust := g.forward(entry, false, transfer)
+	inMay := g.forward(entry, true, transfer)
+
+	for _, blk := range g.blocks {
+		must := inMust[blk]
+		if must == nil {
+			continue // unreachable
+		}
+		for _, n := range blk.nodes {
+			ld.checkNode(n, must, orders)
+			must = transfer(n, must)
+		}
+	}
+
+	// Unlock must post-dominate or be deferred: any lock that may
+	// survive to a return — beyond the caller-held entry set and the
+	// deferred unlocks — leaks on that path.
+	deferred := flowSet{}
+	for _, call := range g.deferred {
+		if key, op := mutexOp(ld.pkg, call); op == opUnlock {
+			deferred[ld.canon(key)] = true
+		}
+	}
+	exitMay := inMay[g.exit]
+	leaked := make([]string, 0, len(exitMay))
+	for key := range exitMay {
+		if !entry[key] && !deferred[key] {
+			leaked = append(leaked, key)
+		}
+	}
+	if len(leaked) > 0 {
+		ld.diags = append(ld.diags, ld.pkg.diag("lockdiscipline", "missing-unlock", namePos,
+			"%s may still be held at return from %s; unlock on every path or defer the unlock",
+			strings.Join(sortedKeys(leaked), ", "), name))
+	}
+}
+
+// transfer folds one CFG node into the lockset: Lock/RLock adds the
+// mutex, Unlock/RUnlock removes it. Deferred calls and nested function
+// literals are skipped — defers run at exit, closures are analyzed as
+// their own functions.
+func (ld *lockChecker) transfer(n ast.Node, in flowSet) flowSet {
+	out := in
+	inspectShallow(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		key, op := mutexOp(ld.pkg, call)
+		key = ld.canon(key)
+		if key == "" {
+			return true
+		}
+		switch op {
+		case opLock:
+			if !out[key] {
+				out = out.clone()
+				out[key] = true
+			}
+		case opUnlock:
+			if out[key] {
+				out = out.clone()
+				delete(out, key)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkNode reports the violations visible at one node given the
+// must-held lockset before it.
+func (ld *lockChecker) checkNode(n ast.Node, must flowSet, orders map[[2]string]token.Pos) {
+	held := must.clone()
+	writes := writeTargets(n)
+	inspectShallow(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.CallExpr:
+			ld.checkCall(m, held, orders)
+			// Fold the op so later accesses in the same statement see it.
+			if key, op := mutexOp(ld.pkg, m); ld.canon(key) != "" {
+				key = ld.canon(key)
+				switch op {
+				case opLock:
+					held[key] = true
+				case opUnlock:
+					delete(held, key)
+				}
+			}
+		case *ast.SelectorExpr:
+			ld.checkAccess(m, held, writes[m], n)
+		}
+		return true
+	})
+}
+
+// checkCall handles the two call-shaped checks: double acquisition and
+// lock-order recording on Lock, and the caller-holds contract on calls
+// to //spyker:locked functions.
+func (ld *lockChecker) checkCall(call *ast.CallExpr, held flowSet, orders map[[2]string]token.Pos) {
+	if key, op := mutexOp(ld.pkg, call); ld.canon(key) != "" && op == opLock {
+		key = ld.canon(key)
+		if held[key] {
+			ld.diags = append(ld.diags, ld.pkg.diag("lockdiscipline", "double-lock", call.Pos(),
+				"acquiring %s while it is already held deadlocks", key))
+		}
+		for prior := range held {
+			a, b := lockBase(prior), lockBase(key)
+			if a != b {
+				if _, seen := orders[[2]string{a, b}]; !seen {
+					orders[[2]string{a, b}] = call.Pos()
+				}
+			}
+		}
+		return
+	}
+	f := ld.pkg.calleeFunc(call)
+	lock, ok := ld.locked[f]
+	if !ok {
+		return
+	}
+	required := lock
+	if sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr); isSel && f.Type().(*types.Signature).Recv() != nil {
+		base := ld.canon(exprKey(sel.X))
+		if base == "" {
+			return // receiver not a trackable path
+		}
+		required = base + "." + lock
+	}
+	if !held[required] {
+		ld.diags = append(ld.diags, ld.pkg.diag("lockdiscipline", "caller-lock", call.Pos(),
+			"call to %s requires %s held (//spyker:locked(%s))", f.Name(), required, lock))
+	}
+}
+
+// checkAccess reports guarded-field reads/writes made without the
+// guard held on every path.
+func (ld *lockChecker) checkAccess(sel *ast.SelectorExpr, held flowSet, isWrite bool, context ast.Node) {
+	s, ok := ld.pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	gi, guarded := ld.guards[v]
+	base := ld.canon(exprKey(sel.X))
+	if base == "" {
+		return // access through a computed expression: not trackable
+	}
+	if root := leftIdent(sel.X); root != nil && ld.localRoots[ld.pkg.Info.Uses[root]] {
+		return // the function built this value; no other goroutine sees it yet
+	}
+	if !guarded {
+		si, sib := ld.shared[v]
+		if !sib || !isWrite {
+			return
+		}
+		for _, lock := range si.locks {
+			if held[base+"."+lock] {
+				ld.diags = append(ld.diags, ld.pkg.diag("lockdiscipline", "unannotated-write", sel.Pos(),
+					"write to %s.%s while %s.%s is held, but the field has no //spyker:guardedby annotation; annotate it or move the write outside the lock",
+					si.structName, si.field, base, lock))
+				return
+			}
+		}
+		return
+	}
+	required := base + "." + gi.lock
+	if held[required] {
+		return
+	}
+	rule, verb := "unguarded-read", "read of"
+	if isWrite {
+		rule, verb = "unguarded-write", "write to"
+	}
+	ld.diags = append(ld.diags, ld.pkg.diag("lockdiscipline", rule, sel.Pos(),
+		"%s %s.%s (//spyker:guardedby(%s)) without holding %s on all paths",
+		verb, gi.structName, gi.field, gi.lock, required))
+}
+
+// reportInversions emits one finding per inverted lock pair in a file.
+func (ld *lockChecker) reportInversions(orders map[[2]string]token.Pos) {
+	for pair, pos := range orders {
+		rev := [2]string{pair[1], pair[0]}
+		revPos, both := orders[rev]
+		if !both || pair[0] > pair[1] {
+			continue // report once, from the lexicographically smaller pair
+		}
+		other := ld.pkg.Fset.Position(revPos)
+		ld.diags = append(ld.diags, ld.pkg.diag("lockdiscipline", "lock-order", pos,
+			"lock order inversion: %s acquired while holding %s here, but the opposite order at %s:%d",
+			pair[1], pair[0], shortPath(other.Filename), other.Line))
+	}
+}
+
+// ---- helpers ----
+
+type mutexOpKind int
+
+const (
+	opNone mutexOpKind = iota
+	opLock
+	opUnlock
+)
+
+// mutexOp resolves a call to a sync.Mutex/RWMutex acquire or release
+// and returns the lock's path key ("mu", "s.mu"). TryLock is ignored:
+// its acquisition is conditional and the analysis has no branch
+// correlation.
+func mutexOp(pkg *Package, call *ast.CallExpr) (string, mutexOpKind) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", opNone
+	}
+	var kind mutexOpKind
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		kind = opLock
+	case "Unlock", "RUnlock":
+		kind = opUnlock
+	default:
+		return "", opNone
+	}
+	if !isMutexType(pkg.Info.TypeOf(sel.X)) {
+		return "", opNone
+	}
+	key := exprKey(sel.X)
+	if key == "" {
+		return "", opNone
+	}
+	return key, kind
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex,
+// possibly behind a pointer.
+func isMutexType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// exprKey renders a simple access path ("s.mu", "pool.classes") for
+// lockset keys; "" when the expression is not a plain ident/selector
+// chain. A parenthesized pointer conversion like (*Server)(o) is a pure
+// view of its operand and keys as the operand.
+func exprKey(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := exprKey(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return exprKey(e.X)
+	case *ast.CallExpr:
+		if _, paren := e.Fun.(*ast.ParenExpr); paren && len(e.Args) == 1 {
+			return exprKey(e.Args[0])
+		}
+	}
+	return ""
+}
+
+// leftIdent walks an ident/selector/star chain down to its leftmost
+// identifier, nil when the chain starts elsewhere (a call, an index).
+func leftIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// lockBase reduces a lock key to its final segment, so lock-order
+// pairs compare across functions with different receiver names.
+func lockBase(key string) string {
+	if i := strings.LastIndexByte(key, '.'); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}
+
+// inspectShallow walks a node but stays inside the current execution
+// context: nested function literals and deferred calls are skipped.
+func inspectShallow(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m.(type) {
+		case *ast.FuncLit, *ast.DeferStmt:
+			return false
+		}
+		if m == nil {
+			return false
+		}
+		return fn(m)
+	})
+}
+
+// writeTargets marks the selector expressions a node mutates through: a
+// direct assignment, an element write (s.m[k] = v writes into the field
+// s.m), a delete, or taking the field's address (the pointer escapes to
+// a callee that may write through it — SnapshotInto(&s.scratch)).
+func writeTargets(n ast.Node) map[*ast.SelectorExpr]bool {
+	writes := map[*ast.SelectorExpr]bool{}
+	mark := func(e ast.Expr) {
+		for {
+			switch x := ast.Unparen(e).(type) {
+			case *ast.SelectorExpr:
+				writes[x] = true
+				return
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			default:
+				return
+			}
+		}
+	}
+	inspectShallow(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range m.Lhs {
+				mark(lhs)
+			}
+		case *ast.IncDecStmt:
+			mark(m.X)
+		case *ast.UnaryExpr:
+			if m.Op == token.AND {
+				mark(m.X)
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(m.Fun).(*ast.Ident); ok && id.Name == "delete" && len(m.Args) > 0 {
+				mark(m.Args[0])
+			}
+		}
+		return true
+	})
+	return writes
+}
+
+// localConstructions collects the variables a function body itself
+// constructs — `x := &T{...}`, `x := T{...}`, `x := new(T)`, and plain
+// `var x T` declarations. Guarded-field accesses rooted in them are
+// exempt: until the value is published, no other goroutine can hold a
+// reference, which is what makes unsynchronized constructor
+// initialization legal.
+func localConstructions(pkg *Package, body *ast.BlockStmt) map[types.Object]bool {
+	roots := map[types.Object]bool{}
+	constructs := func(e ast.Expr) bool {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.CompositeLit:
+			return true
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				_, lit := ast.Unparen(e.X).(*ast.CompositeLit)
+				return lit
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "new" {
+				_, isBuiltin := pkg.Info.Uses[id].(*types.Builtin)
+				return isBuiltin
+			}
+		}
+		return false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE || len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || !constructs(n.Rhs[i]) {
+					continue
+				}
+				if obj := pkg.Info.Defs[id]; obj != nil {
+					roots[obj] = true
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Values) == 0 && n.Type != nil {
+				for _, id := range n.Names {
+					if obj := pkg.Info.Defs[id]; obj != nil {
+						roots[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return roots
+}
+
+func sortedKeys(keys []string) []string {
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// shortPath trims a file path to its final two segments for messages.
+func shortPath(p string) string {
+	parts := strings.Split(p, "/")
+	if len(parts) > 2 {
+		parts = parts[len(parts)-2:]
+	}
+	return strings.Join(parts, "/")
+}

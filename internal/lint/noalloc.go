@@ -77,45 +77,45 @@ func noallocFuncs(pkg *Package) []noallocFn {
 // — except calls into fmt, which exist to build strings.
 func checkNoallocBody(pkg *Package, fn noallocFn) []Diagnostic {
 	var diags []Diagnostic
-	report := func(pos token.Pos, format string, args ...any) {
-		diags = append(diags, pkg.diag("noalloc", pos, format, args...))
+	report := func(rule string, pos token.Pos, format string, args ...any) {
+		diags = append(diags, pkg.diag("noalloc", rule, pos, format, args...))
 	}
 	sig, _ := pkg.Info.Defs[fn.decl.Name].Type().(*types.Signature)
 
 	ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
-			report(n.Pos(), "closure literal allocates in //spyker:noalloc function %s", fn.name)
+			report("closure", n.Pos(), "closure literal allocates in //spyker:noalloc function %s", fn.name)
 			return false // the closure's own body is not the annotated function
 
 		case *ast.UnaryExpr:
 			if n.Op == token.AND {
 				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
-					report(n.Pos(), "address of composite literal allocates in //spyker:noalloc function %s", fn.name)
+					report("composite-alloc", n.Pos(), "address of composite literal allocates in //spyker:noalloc function %s", fn.name)
 				}
 			}
 
 		case *ast.CompositeLit:
 			switch pkg.Info.TypeOf(n).Underlying().(type) {
 			case *types.Slice:
-				report(n.Pos(), "slice literal allocates in //spyker:noalloc function %s", fn.name)
+				report("composite-alloc", n.Pos(), "slice literal allocates in //spyker:noalloc function %s", fn.name)
 			case *types.Map:
-				report(n.Pos(), "map literal allocates in //spyker:noalloc function %s", fn.name)
+				report("composite-alloc", n.Pos(), "map literal allocates in //spyker:noalloc function %s", fn.name)
 			}
 
 		case *ast.BinaryExpr:
 			if n.Op == token.ADD && isString(pkg.Info.TypeOf(n)) {
-				report(n.Pos(), "string concatenation allocates in //spyker:noalloc function %s", fn.name)
+				report("string-alloc", n.Pos(), "string concatenation allocates in //spyker:noalloc function %s", fn.name)
 			}
 
 		case *ast.AssignStmt:
 			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(pkg.Info.TypeOf(n.Lhs[0])) {
-				report(n.Pos(), "string concatenation allocates in //spyker:noalloc function %s", fn.name)
+				report("string-alloc", n.Pos(), "string concatenation allocates in //spyker:noalloc function %s", fn.name)
 			}
 			if n.Tok == token.ASSIGN && len(n.Lhs) == len(n.Rhs) {
 				for i, rhs := range n.Rhs {
 					if boxes(pkg, pkg.Info.TypeOf(n.Lhs[i]), rhs) {
-						report(rhs.Pos(), "assignment boxes %s into an interface in //spyker:noalloc function %s",
+						report("interface-box", rhs.Pos(), "assignment boxes %s into an interface in //spyker:noalloc function %s",
 							typeName(pkg, rhs), fn.name)
 					}
 				}
@@ -126,7 +126,7 @@ func checkNoallocBody(pkg *Package, fn noallocFn) []Diagnostic {
 				dst := pkg.Info.TypeOf(n.Type)
 				for _, v := range n.Values {
 					if boxes(pkg, dst, v) {
-						report(v.Pos(), "declaration boxes %s into an interface in //spyker:noalloc function %s",
+						report("interface-box", v.Pos(), "declaration boxes %s into an interface in //spyker:noalloc function %s",
 							typeName(pkg, v), fn.name)
 					}
 				}
@@ -136,7 +136,7 @@ func checkNoallocBody(pkg *Package, fn noallocFn) []Diagnostic {
 			if sig != nil && len(n.Results) == sig.Results().Len() {
 				for i, res := range n.Results {
 					if boxes(pkg, sig.Results().At(i).Type(), res) {
-						report(res.Pos(), "return boxes %s into an interface in //spyker:noalloc function %s",
+						report("interface-box", res.Pos(), "return boxes %s into an interface in //spyker:noalloc function %s",
 							typeName(pkg, res), fn.name)
 					}
 				}
@@ -154,8 +154,8 @@ func checkNoallocBody(pkg *Package, fn noallocFn) []Diagnostic {
 // conversions, fmt, and interface boxing at argument positions.
 func checkNoallocCall(pkg *Package, fn noallocFn, call *ast.CallExpr) []Diagnostic {
 	var diags []Diagnostic
-	report := func(pos token.Pos, format string, args ...any) {
-		diags = append(diags, pkg.diag("noalloc", pos, format, args...))
+	report := func(rule string, pos token.Pos, format string, args ...any) {
+		diags = append(diags, pkg.diag("noalloc", rule, pos, format, args...))
 	}
 
 	if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
@@ -163,12 +163,12 @@ func checkNoallocCall(pkg *Package, fn noallocFn, call *ast.CallExpr) []Diagnost
 		dst := tv.Type
 		if len(call.Args) == 1 {
 			if boxes(pkg, dst, call.Args[0]) {
-				report(call.Pos(), "conversion boxes %s into an interface in //spyker:noalloc function %s",
+				report("interface-box", call.Pos(), "conversion boxes %s into an interface in //spyker:noalloc function %s",
 					typeName(pkg, call.Args[0]), fn.name)
 			}
 			src := pkg.Info.TypeOf(call.Args[0])
 			if stringBytesConversion(dst, src) {
-				report(call.Pos(), "string conversion allocates in //spyker:noalloc function %s", fn.name)
+				report("string-alloc", call.Pos(), "string conversion allocates in //spyker:noalloc function %s", fn.name)
 			}
 		}
 		return diags
@@ -178,14 +178,14 @@ func checkNoallocCall(pkg *Package, fn noallocFn, call *ast.CallExpr) []Diagnost
 		if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok {
 			switch b.Name() {
 			case "make", "new", "append":
-				report(call.Pos(), "call to %s allocates in //spyker:noalloc function %s", b.Name(), fn.name)
+				report("builtin-alloc", call.Pos(), "call to %s allocates in //spyker:noalloc function %s", b.Name(), fn.name)
 			}
 			return diags
 		}
 	}
 
 	if f := pkg.calleeFunc(call); f != nil && pkgPathOf(f) == "fmt" {
-		report(call.Pos(), "call to fmt.%s allocates in //spyker:noalloc function %s", f.Name(), fn.name)
+		report("fmt-call", call.Pos(), "call to fmt.%s allocates in //spyker:noalloc function %s", f.Name(), fn.name)
 		return diags
 	}
 
@@ -203,7 +203,7 @@ func checkNoallocCall(pkg *Package, fn noallocFn, call *ast.CallExpr) []Diagnost
 			dst = params.At(i).Type()
 		}
 		if boxes(pkg, dst, arg) {
-			report(arg.Pos(), "argument boxes %s into an interface in //spyker:noalloc function %s",
+			report("interface-box", arg.Pos(), "argument boxes %s into an interface in //spyker:noalloc function %s",
 				typeName(pkg, arg), fn.name)
 		}
 	}

@@ -1,0 +1,235 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// paridiom enforces the sanctioned parallel-kernel form for the
+// deterministic layers (ROADMAP item 3: multicore kernels with
+// bit-reproducible float accumulation). In DeterministicPkgs, a
+// function that launches worker goroutines must:
+//
+//   - derive its chunk boundaries from compile-time-visible values —
+//     runtime.NumCPU / runtime.GOMAXPROCS vary by machine and make the
+//     chunking, and therefore float summation order, irreproducible;
+//   - combine results in a fixed order: workers write disjoint entries
+//     of an indexed result slice (results[i] = partial) and the caller
+//     reduces that slice sequentially after the join. Accumulating
+//     across a channel (for v := range ch { sum += v }) or into a
+//     shared captured variable from inside a worker orders the
+//     reduction by goroutine-scheduling, which is nondeterministic.
+//
+// A reduction that is genuinely order-insensitive (integer sums,
+// max/min) is waived with //spyker:ordered(reason) on the flagged line
+// or the line above.
+var orderedRe = regexp.MustCompile(`^//spyker:ordered\(([^)]*)\)`)
+
+func runParIdiom(cfg *Config, pkg *Package) []Diagnostic {
+	if !hasPkgSuffix(pkg.ImportPath, cfg.DeterministicPkgs) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, file := range pkg.Files {
+		waivers := map[int]string{}
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				if m := orderedRe.FindStringSubmatch(c.Text); m != nil {
+					waivers[pkg.Fset.Position(c.Pos()).Line] = m[1]
+				}
+			}
+		}
+		waived := func(pos token.Pos) (bool, bool) {
+			line := pkg.Fset.Position(pos).Line
+			for _, l := range []int{line, line - 1} {
+				if reason, ok := waivers[l]; ok {
+					return true, strings.TrimSpace(reason) != ""
+				}
+			}
+			return false, false
+		}
+		report := func(rule string, pos token.Pos, format string, args ...any) {
+			if ok, nonEmpty := waived(pos); ok {
+				if !nonEmpty {
+					diags = append(diags, pkg.diag("paridiom", "bad-waiver", pos,
+						"//spyker:ordered waiver needs a non-empty reason"))
+				}
+				return
+			}
+			diags = append(diags, pkg.diag("paridiom", rule, pos, format, args...))
+		}
+
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkParallelKernel(pkg, fd, report)
+		}
+	}
+	return diags
+}
+
+// checkParallelKernel screens one function. Functions that never
+// launch a goroutine are sequential and exempt.
+func checkParallelKernel(pkg *Package, fd *ast.FuncDecl, report func(rule string, pos token.Pos, format string, args ...any)) {
+	spawns := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			spawns = true
+		}
+		return !spawns
+	})
+	if !spawns {
+		return
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if f := pkg.calleeFunc(n); f != nil && pkgPathOf(f) == "runtime" &&
+				(f.Name() == "NumCPU" || f.Name() == "GOMAXPROCS") {
+				report("runtime-chunks", n.Pos(),
+					"chunk boundaries derived from runtime.%s vary by machine and break bit-reproducible reduction; take the worker count as an explicit parameter", f.Name())
+			}
+
+		case *ast.GoStmt:
+			if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				checkWorkerBody(pkg, lit, report)
+			}
+			return true
+
+		case *ast.RangeStmt:
+			t := pkg.Info.TypeOf(n.X)
+			if t == nil {
+				return true
+			}
+			if _, isChan := t.Underlying().(*types.Chan); !isChan {
+				return true
+			}
+			if accumulates(n.Body) {
+				report("channel-reduce", n.Pos(),
+					"reduction over a channel orders float accumulation by goroutine scheduling; collect into an indexed result slice and reduce sequentially after the join")
+			}
+
+		case *ast.AssignStmt:
+			if isCompound(n.Tok) && containsRecv(n.Rhs) {
+				report("channel-reduce", n.Pos(),
+					"accumulating a channel receive orders the reduction by message arrival; collect into an indexed result slice and reduce sequentially after the join")
+			}
+		}
+		return true
+	})
+}
+
+// checkWorkerBody flags shared-accumulator writes inside a worker
+// goroutine: compound assignment or ++/-- on a captured, non-indexed
+// variable. Writing results[i] stays legal — disjoint indexed slots
+// are the sanctioned combine.
+func checkWorkerBody(pkg *Package, lit *ast.FuncLit, report func(rule string, pos token.Pos, format string, args ...any)) {
+	// Variables declared inside the literal are the worker's own.
+	owned := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pkg.Info.Defs[id]; obj != nil {
+				owned[obj] = true
+			}
+		}
+		return true
+	})
+	for _, f := range lit.Type.Params.List {
+		for _, id := range f.Names {
+			if obj := pkg.Info.Defs[id]; obj != nil {
+				owned[obj] = true
+			}
+		}
+	}
+	captured := func(e ast.Expr) bool {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.IndexExpr:
+			return false // indexed slot: the sanctioned form
+		case *ast.Ident:
+			return !owned[pkg.Info.Uses[e]]
+		case *ast.SelectorExpr:
+			id := leftIdent(e)
+			return id != nil && !owned[pkg.Info.Uses[id]]
+		}
+		return false
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return n == lit
+		case *ast.AssignStmt:
+			if !isCompound(n.Tok) {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				if captured(lhs) {
+					report("shared-accumulator", n.Pos(),
+						"worker accumulates into captured %s; workers must write disjoint indexed results and let the caller reduce sequentially", exprKey(lhs))
+				}
+			}
+		case *ast.IncDecStmt:
+			if captured(n.X) {
+				report("shared-accumulator", n.Pos(),
+					"worker accumulates into captured %s; workers must write disjoint indexed results and let the caller reduce sequentially", exprKey(n.X))
+			}
+		}
+		return true
+	})
+}
+
+// accumulates reports whether a loop body compound-assigns to a
+// non-indexed target — the signature of an order-sensitive reduction.
+func accumulates(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if isCompound(n.Tok) {
+				for _, lhs := range n.Lhs {
+					if _, indexed := ast.Unparen(lhs).(*ast.IndexExpr); !indexed {
+						found = true
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if _, indexed := ast.Unparen(n.X).(*ast.IndexExpr); !indexed {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isCompound reports whether an assignment token is an accumulating
+// op-assign (+=, -=, *=, ...).
+func isCompound(tok token.Token) bool {
+	switch tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN,
+		token.REM_ASSIGN, token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN,
+		token.SHL_ASSIGN, token.SHR_ASSIGN, token.AND_NOT_ASSIGN:
+		return true
+	}
+	return false
+}
+
+// containsRecv reports whether any expression contains a channel
+// receive.
+func containsRecv(exprs []ast.Expr) bool {
+	found := false
+	for _, e := range exprs {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if u, ok := n.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				found = true
+			}
+			return !found
+		})
+	}
+	return found
+}

@@ -34,7 +34,7 @@ func runSendCheck(cfg *Config, pkg *Package) []Diagnostic {
 		if !watched {
 			return
 		}
-		diags = append(diags, pkg.diag("sendcheck", call.Pos(),
+		diags = append(diags, pkg.diag("sendcheck", "dropped-error", call.Pos(),
 			"%s error of %s.%s is dropped %s; handle it or discard explicitly with _ =",
 			f.Name(), pkgBase(path), f.Name(), how))
 	}
@@ -68,10 +68,11 @@ func returnsError(f *types.Func) bool {
 }
 
 // hasSendPrefix reports whether a function name belongs to the watched
-// send/encode operation families.
+// send/encode operation families. The match ignores export case so the
+// monitoring commands' unexported writeX/sendX helpers are covered.
 func hasSendPrefix(name string) bool {
 	for _, p := range sendPrefixes {
-		if strings.HasPrefix(name, p) {
+		if len(name) >= len(p) && strings.EqualFold(name[:len(p)], p) {
 			return true
 		}
 	}

@@ -90,7 +90,7 @@ func checkSinkMethod(cfg *Config, pkg *Package, recv *types.Named, fd *ast.FuncD
 		if hasPkgSuffix(v.Pkg().Path(), []string{"internal/obs"}) {
 			return
 		}
-		diags = append(diags, pkg.diag("sinkpassivity", e.Pos(),
+		diags = append(diags, pkg.diag("sinkpassivity", "state-write", e.Pos(),
 			"sink %s.%s writes package-level state %s.%s outside internal/obs",
 			sinkName, fd.Name.Name, v.Pkg().Name(), v.Name()))
 	}
@@ -105,7 +105,7 @@ func checkSinkMethod(cfg *Config, pkg *Package, recv *types.Named, fd *ast.FuncD
 			flagWrite(n.X)
 		case *ast.CallExpr:
 			if f := pkg.calleeFunc(n); f != nil && hasPkgSuffix(pkgPathOf(f), cfg.SinkCallbackPkgs) {
-				diags = append(diags, pkg.diag("sinkpassivity", n.Pos(),
+				diags = append(diags, pkg.diag("sinkpassivity", "runtime-callback", n.Pos(),
 					"sink %s.%s calls back into %s (%s): sinks must stay passive",
 					sinkName, fd.Name.Name, f.Pkg().Path(), f.Name()))
 			}

@@ -1,0 +1,151 @@
+// Package lockdiscipline seeds mutex-protocol violations: guarded
+// fields touched without their lock, a double acquisition, a leaked
+// lock, a lock-order inversion, a caller ignoring a //spyker:locked
+// contract, and an annotation naming a mutex that does not exist —
+// next to the sanctioned shapes (lock/unlock pairs, deferred unlocks,
+// RLock reads, caller-holds helpers, constructor initialization).
+package lockdiscipline
+
+import "sync"
+
+type store struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	count int            //spyker:guardedby(mu)
+	data  []int          //spyker:guardedby(rw)
+	byKey map[string]int //spyker:guardedby(mu)
+	note  string
+}
+
+type badstore struct {
+	n int //spyker:guardedby(gone) // want `//spyker:guardedby\(gone\): struct badstore has no sync\.Mutex/RWMutex field named gone`
+}
+
+// unguarded touches count with mu never held.
+func (s *store) unguarded() int {
+	s.count++      // want `write to store\.count \(//spyker:guardedby\(mu\)\) without holding s\.mu`
+	return s.count // want `read of store\.count \(//spyker:guardedby\(mu\)\) without holding s\.mu`
+}
+
+// halfGuarded locks on only one branch, so the access is not dominated
+// by the lock.
+func (s *store) halfGuarded(lock bool) int {
+	if lock {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+	return s.count // want `read of store\.count \(//spyker:guardedby\(mu\)\) without holding s\.mu`
+}
+
+// guarded is the sanctioned shape: every access dominated by Lock,
+// unlock explicit or deferred.
+func (s *store) guarded() int {
+	s.mu.Lock()
+	s.count = 1
+	s.mu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// rlocked reads under RLock, which satisfies the guard.
+func (s *store) rlocked() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.data[0]
+}
+
+// double acquires a lock it already holds.
+func (s *store) double() {
+	s.mu.Lock()
+	s.mu.Lock() // want `acquiring s\.mu while it is already held deadlocks`
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// leaky may return with mu still held: the unlock neither
+// post-dominates the lock nor is deferred.
+func (s *store) leaky(cond bool) { // want `s\.mu may still be held at return from leaky`
+	s.mu.Lock()
+	if cond {
+		s.mu.Unlock()
+	}
+}
+
+// trim runs with the caller's lock held.
+//
+//spyker:locked(mu)
+func (s *store) trim() {
+	s.count = 0
+}
+
+// callers must actually hold mu when calling trim.
+func (s *store) resetLocked() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.trim()
+}
+
+func (s *store) resetUnlocked() {
+	s.trim() // want `call to trim requires s\.mu held \(//spyker:locked\(mu\)\)`
+}
+
+// fresh initializes a just-constructed value: no other goroutine can
+// hold a reference yet, so the unguarded writes are legal.
+func fresh() *store {
+	s := &store{}
+	s.count = 7
+	s.data = []int{1}
+	return s
+}
+
+// sneak writes an unannotated sibling while holding a guard lock of an
+// annotated struct: either the annotation is missing or the write does
+// not belong under the lock.
+func (s *store) sneak() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.count = 0
+	s.note = "x" // want `write to store\.note while s\.mu is held, but the field has no //spyker:guardedby annotation`
+}
+
+// readAside reads the unannotated sibling under the lock: reads are not
+// flagged — only writes claim the field for the lock.
+func (s *store) readAside() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.note
+}
+
+// putUnguarded writes an element of a guarded map with mu never held:
+// an element write mutates the field just as a direct assignment does.
+func (s *store) putUnguarded() {
+	s.byKey["k"] = 1 // want `write to store\.byKey \(//spyker:guardedby\(mu\)\) without holding s\.mu`
+}
+
+// drain passes a guarded field's address out while holding only the
+// wrong lock: taking the address counts as a write (the callee may
+// mutate through the pointer).
+func (s *store) drain(f func(*int)) {
+	s.rw.Lock()
+	defer s.rw.Unlock()
+	f(&s.count) // want `write to store\.count \(//spyker:guardedby\(mu\)\) without holding s\.mu`
+}
+
+var ma, mb sync.Mutex
+
+// orderAB and orderBA acquire the pair in opposite orders in one file:
+// a latent deadlock.
+func orderAB() {
+	ma.Lock()
+	mb.Lock() // want `lock order inversion: mb acquired while holding ma`
+	mb.Unlock()
+	ma.Unlock()
+}
+
+func orderBA() {
+	mb.Lock()
+	ma.Lock()
+	ma.Unlock()
+	mb.Unlock()
+}

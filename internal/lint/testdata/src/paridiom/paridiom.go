@@ -1,0 +1,129 @@
+// Package paridiom seeds violations of the sanctioned parallel-kernel
+// form: chunk boundaries taken from the machine, reductions ordered by
+// channel delivery, and workers accumulating into shared captured
+// state — next to the sanctioned shape (explicit worker count, fixed
+// chunk boundaries, disjoint indexed results, sequential reduce after
+// the join) and the //spyker:ordered waiver for order-insensitive
+// reductions.
+package paridiom
+
+import (
+	"runtime"
+	"sync"
+)
+
+// badChunks sizes its pool from the machine and reduces in message
+// order: neither the chunking nor the float summation is reproducible.
+func badChunks(xs []float64) float64 {
+	workers := runtime.NumCPU() // want `chunk boundaries derived from runtime\.NumCPU vary by machine`
+	ch := make(chan float64)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			ch <- partial(xs, w, workers)
+		}(w)
+	}
+	var sum float64
+	for i := 0; i < workers; i++ {
+		sum += <-ch // want `accumulating a channel receive orders the reduction by message arrival`
+	}
+	return sum
+}
+
+// badRange reduces over a channel: arrival order is scheduling order.
+func badRange(xs []float64, ch chan float64) float64 {
+	go produce(xs, ch)
+	var sum float64
+	for v := range ch { // want `reduction over a channel orders float accumulation by goroutine scheduling`
+		sum += v
+	}
+	return sum
+}
+
+// badShared lets the workers race on one accumulator.
+func badShared(xs []float64, workers int) float64 {
+	var sum float64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sum += partial(xs, w, workers) // want `worker accumulates into captured sum`
+		}(w)
+	}
+	wg.Wait()
+	return sum
+}
+
+// kernel is the sanctioned form: explicit worker count, fixed chunk
+// boundaries computed from it, each worker owning one slot of an
+// indexed result slice, and a sequential reduce after the join.
+func kernel(xs []float64, workers int) float64 {
+	parts := make([]float64, workers)
+	chunk := (len(xs) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo := w * chunk
+			hi := lo + chunk
+			if lo > len(xs) {
+				lo = len(xs)
+			}
+			if hi > len(xs) {
+				hi = len(xs)
+			}
+			var p float64
+			for _, v := range xs[lo:hi] {
+				p += v
+			}
+			parts[w] = p
+		}(w)
+	}
+	wg.Wait()
+	var sum float64
+	for _, p := range parts {
+		sum += p
+	}
+	return sum
+}
+
+// waivedCount reduces integers off a channel: associative and
+// order-insensitive, so the waiver applies.
+func waivedCount(items []int, ch chan int, workers int) int {
+	for w := 0; w < workers; w++ {
+		go count(items, ch)
+	}
+	total := 0
+	for i := 0; i < workers; i++ {
+		total += <-ch //spyker:ordered(integer addition is associative; arrival order cannot change the result)
+	}
+	return total
+}
+
+// emptyWaiver asserts nothing.
+func emptyWaiver(items []int, ch chan int) int {
+	go count(items, ch)
+	total := 0
+	total += <-ch //spyker:ordered() // want `//spyker:ordered waiver needs a non-empty reason`
+	return total
+}
+
+func partial(xs []float64, w, workers int) float64 {
+	var p float64
+	for i := w; i < len(xs); i += workers {
+		p += xs[i]
+	}
+	return p
+}
+
+func produce(xs []float64, ch chan float64) {
+	for _, v := range xs {
+		ch <- v
+	}
+	close(ch)
+}
+
+func count(items []int, ch chan int) {
+	ch <- len(items)
+}

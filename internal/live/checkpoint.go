@@ -35,14 +35,15 @@ func (s *Server) WriteCheckpoint(w io.Writer) error {
 	defer s.ckptMu.Unlock()
 	s.mu.Lock()
 	s.core.SnapshotInto(&s.ckptScratch)
+	sink := s.sink
 	s.mu.Unlock()
 	st := &s.ckptScratch
 	cw := &countingWriter{w: w}
 	if err := gob.NewEncoder(cw).Encode(st); err != nil {
 		return fmt.Errorf("live: encode checkpoint: %w", err)
 	}
-	if s.sink.Enabled() {
-		s.sink.Emit(obs.Event{
+	if sink.Enabled() {
+		sink.Emit(obs.Event{
 			Time: s.clock(), Kind: obs.KindCheckpoint,
 			Node: s.ID, Peer: obs.NoPeer, Bytes: cw.n, Age: st.Age,
 		})
@@ -93,12 +94,16 @@ func NewServerFromCheckpoint(addr string, st spyker.State) (*Server, error) {
 		_ = l.Close()
 		return nil, err
 	}
+	// Uncontended (the accept loop starts below); keeps the guarded-field
+	// discipline uniform from the first write.
+	s.mu.Lock()
 	s.core = core
 	s.memEpoch = core.Epoch()
-	s.updates.Store(int64(sumUpdates(st.Updates)))
 	if core.HasToken() {
 		s.tokenSeen, s.tokenSeenValid = s.clock(), true
 	}
+	s.mu.Unlock()
+	s.updates.Store(int64(sumUpdates(st.Updates)))
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil

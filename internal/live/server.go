@@ -124,25 +124,25 @@ type Server struct {
 	cfg      spyker.Config
 	listener *transport.Listener
 
-	mu      sync.Mutex // serializes core handlers
-	core    *spyker.ServerCore
-	clients map[int]*outbox
-	peers   map[int]*outbox // keyed by stable server ID; no entry for self
+	mu      sync.Mutex         // serializes core handlers
+	core    *spyker.ServerCore //spyker:guardedby(mu)
+	clients map[int]*outbox    //spyker:guardedby(mu)
+	peers   map[int]*outbox    //spyker:guardedby(mu) — keyed by stable server ID; no entry for self
 
 	// addrBook maps stable server IDs to listen addresses, learned from
 	// ConnectPeers, membership headers on incoming frames, and join
 	// handshakes. The reconnect loop falls back to it when its addrOf
-	// callback has no answer (newly joined peers). Guarded by mu.
-	addrBook map[int]string
+	// callback has no answer (newly joined peers).
+	addrBook map[int]string //spyker:guardedby(mu)
 
 	// memEpoch is the membership epoch the outbox set was last wired
 	// for; when the core adopts a newer epoch, a background redial pass
-	// reconciles peers with the new ring. Guarded by mu.
-	memEpoch int
+	// reconciles peers with the new ring.
+	memEpoch int //spyker:guardedby(mu)
 
 	// conns tracks every inbound connection currently being read, so Kill
 	// can sever them without waiting for the remote side.
-	conns map[*transport.Conn]struct{}
+	conns map[*transport.Conn]struct{} //spyker:guardedby(mu)
 
 	// peerWrap, when set, wraps every dialed peer connection (initial dial
 	// and reconnect alike); fault injection harnesses use it to interpose
@@ -160,16 +160,16 @@ type Server struct {
 	// tokenSeen is the clock() stamp of the last token frame this server
 	// sent or received — the raw input of the token-silence health
 	// signal. Regenerating a token locally does NOT count: a stuck
-	// post-regeneration holder must still read as silent. Guarded by mu.
-	tokenSeen      float64
-	tokenSeenValid bool
+	// post-regeneration holder must still read as silent.
+	tokenSeen      float64 //spyker:guardedby(mu)
+	tokenSeenValid bool    //spyker:guardedby(mu)
 
 	// reconnects counts successful peer redials (reconnect loop, elastic
 	// rewiring, join bootstrap); debugAddr is the operator-announced
 	// address of this process's debug HTTP endpoint, echoed in telemetry
-	// so monitors can discover it (guarded by mu).
+	// so monitors can discover it.
 	reconnects atomic.Int64
-	debugAddr  string
+	debugAddr  string //spyker:guardedby(mu)
 
 	// pool recycles the model-sized buffers outbound frames are copied
 	// into (the core's Outbound contract only lends its vector for the
@@ -179,17 +179,17 @@ type Server struct {
 	// ckptScratch is the reusable checkpoint snapshot (see
 	// WriteCheckpoint); ckptMu serializes checkpoint writers.
 	ckptMu      sync.Mutex
-	ckptScratch spyker.State
+	ckptScratch spyker.State //spyker:guardedby(ckptMu)
 
 	// Observability (see Instrument). sink/clock default to no-ops; the
 	// byte totals are always maintained (they are two atomic adds per
 	// frame). txPeer/rxPeer cache per-remote registry counters; both maps
 	// are only touched under mu.
-	sink    obs.Sink
+	sink    obs.Sink //spyker:guardedby(mu)
 	clock   obs.Clock
-	reg     *obs.Registry
-	txPeer  map[int]*obs.Counter
-	rxPeer  map[int]*obs.Counter
+	reg     *obs.Registry        //spyker:guardedby(mu)
+	txPeer  map[int]*obs.Counter //spyker:guardedby(mu)
+	rxPeer  map[int]*obs.Counter //spyker:guardedby(mu)
 	txBytes atomic.Int64
 	rxBytes atomic.Int64
 
@@ -197,7 +197,7 @@ type Server struct {
 	// ArmAudit was called). Its Observe runs inside dispatch and its
 	// Snapshot inside Telemetry — both under mu, so the recorder itself
 	// needs no locking.
-	audit *audit.Recorder
+	audit *audit.Recorder //spyker:guardedby(mu)
 
 	wg      sync.WaitGroup
 	closing atomic.Bool
@@ -236,12 +236,17 @@ func NewServer(id int, addr string, cfg spyker.Config, initial []float64, holdsT
 		return nil, err
 	}
 	s := newShell(id, cfg, l)
+	// Hold mu while wiring the core: the lock is uncontended here (accept
+	// loop starts below), and it keeps the guarded-field discipline
+	// uniform from the first write.
+	s.mu.Lock()
 	s.core = spyker.NewServerCore(cfg, initial, holdsToken, (*serverOutbound)(s))
 	s.memEpoch = s.core.Epoch()
 	if holdsToken {
 		// The minted token counts as movement: silence starts now.
 		s.tokenSeen, s.tokenSeenValid = s.clock(), true
 	}
+	s.mu.Unlock()
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -288,6 +293,8 @@ func (s *Server) ArmAudit(cfg audit.Config) {
 // noteSend records one outgoing frame to the remote node (an
 // obs.ServerNode-offset server ID or a raw client ID). Callers hold s.mu
 // (the counter maps) — true for every enqueue site.
+//
+//spyker:locked(mu)
 func (s *Server) noteSend(remote int, m *transport.Msg) {
 	size := transport.MsgWireBytes(m)
 	s.txBytes.Add(int64(size))
@@ -310,6 +317,8 @@ func (s *Server) noteSend(remote int, m *transport.Msg) {
 
 // noteRecv records one incoming frame from the remote node; callers hold
 // s.mu.
+//
+//spyker:locked(mu)
 func (s *Server) noteRecv(remote int, m *transport.Msg) {
 	size := transport.MsgWireBytes(m)
 	s.rxBytes.Add(int64(size))
@@ -802,6 +811,9 @@ func JoinCluster(sponsorAddr, listenAddr string) (*Server, error) {
 	if err != nil {
 		return fail(err)
 	}
+	// Uncontended (the accept loop starts below); keeps the guarded-field
+	// discipline uniform from the first write.
+	s.mu.Lock()
 	s.core = core
 	s.memEpoch = core.Epoch()
 	if len(reply.Addrs) == len(reply.Members) {
@@ -811,6 +823,7 @@ func JoinCluster(sponsorAddr, listenAddr string) (*Server, error) {
 			}
 		}
 	}
+	s.mu.Unlock()
 	s.wg.Add(1)
 	go s.acceptLoop()
 	s.redialFailedPeers(nil) // dial every current member
@@ -883,6 +896,8 @@ func (s *Server) dispatch(m *transport.Msg) {
 
 // absorbHeader learns peer addresses riding on a frame's elastic
 // membership header (Addrs aligned with Members). Caller holds s.mu.
+//
+//spyker:locked(mu)
 func (s *Server) absorbHeader(m *transport.Msg) {
 	if len(m.Addrs) != len(m.Members) {
 		return
@@ -898,6 +913,8 @@ func (s *Server) absorbHeader(m *transport.Msg) {
 // handler that just ran: the outbox set must follow the ring, so a
 // background pass dials newly admitted members and drops departed ones.
 // Caller holds s.mu.
+//
+//spyker:locked(mu)
 func (s *Server) maybeRewire() {
 	e := s.core.Epoch()
 	if e == s.memEpoch {
@@ -920,6 +937,9 @@ type serverOutbound Server
 
 var _ spyker.Outbound = (*serverOutbound)(nil)
 
+// ReplyClient runs inside a core handler with s.mu held.
+//
+//spyker:locked(mu)
 func (o *serverOutbound) ReplyClient(k int, params []float64, age, lr float64) {
 	if c, ok := o.clients[k]; ok {
 		s := (*Server)(o)
@@ -940,6 +960,8 @@ func (o *serverOutbound) ReplyClient(k int, params []float64, age, lr float64) {
 // addrsFor renders the address book aligned with members (empty string
 // where unknown); the slice is shared read-only by every frame of one
 // broadcast. Caller holds s.mu.
+//
+//spyker:locked(mu)
 func (s *Server) addrsFor(members []int) []string {
 	addrs := make([]string, len(members))
 	for i, id := range members {
@@ -948,6 +970,9 @@ func (s *Server) addrsFor(members []int) []string {
 	return addrs
 }
 
+// BroadcastModel runs inside a core handler with s.mu held.
+//
+//spyker:locked(mu)
 func (o *serverOutbound) BroadcastModel(params []float64, age float64, bid int, front []int64, mem ring.Membership) {
 	s := (*Server)(o)
 	// front is a borrow of the core's live frontier and the outboxes encode
@@ -977,6 +1002,9 @@ func (o *serverOutbound) BroadcastModel(params []float64, age float64, bid int, 
 	}
 }
 
+// BroadcastAge runs inside a core handler with s.mu held.
+//
+//spyker:locked(mu)
 func (o *serverOutbound) BroadcastAge(age float64, mem ring.Membership) {
 	addrs := (*Server)(o).addrsFor(mem.Members)
 	for id, p := range o.peers {
@@ -992,6 +1020,9 @@ func (o *serverOutbound) BroadcastAge(age float64, mem ring.Membership) {
 	}
 }
 
+// SendToken runs inside a core handler with s.mu held.
+//
+//spyker:locked(mu)
 func (o *serverOutbound) SendToken(t spyker.Token, next int) {
 	if p := o.peers[next]; p != nil {
 		s := (*Server)(o)

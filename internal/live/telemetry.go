@@ -94,6 +94,8 @@ func (s *Server) Telemetry() *obs.Telemetry {
 // registry as gauges, making epoch, queue depths, failed links, and
 // reconnect totals visible on the existing expvar/Prometheus endpoints.
 // Caller holds s.mu and has checked s.reg != nil.
+//
+//spyker:locked(mu)
 func (s *Server) refreshHealthGauges(t *obs.Telemetry) {
 	pre := fmt.Sprintf("live.server%d.", s.ID)
 	s.reg.Gauge(pre + "ring_epoch").Set(float64(t.Epoch))

@@ -14,7 +14,7 @@ import (
 // merely serializes an already-serial stream.
 type Sink struct {
 	mu sync.Mutex
-	ev *Evaluator
+	ev *Evaluator //spyker:guardedby(mu)
 }
 
 // NewSink wraps ev; ev must not be used directly while the sink is

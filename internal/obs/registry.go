@@ -141,9 +141,9 @@ func (h *Histogram) Quantile(q float64) float64 {
 // take a lock; hot paths should look a metric up once and keep the handle.
 type Registry struct {
 	mu         sync.Mutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	histograms map[string]*Histogram
+	counters   map[string]*Counter   //spyker:guardedby(mu)
+	gauges     map[string]*Gauge     //spyker:guardedby(mu)
+	histograms map[string]*Histogram //spyker:guardedby(mu)
 }
 
 // NewRegistry creates an empty registry.
@@ -295,8 +295,8 @@ type MetricsSink struct {
 	reg         *Registry
 
 	mu        sync.Mutex
-	syncStart map[int]float64 // node -> time of its open sync round
-	links     map[linkKey]*linkState
+	syncStart map[int]float64        //spyker:guardedby(mu) — node -> time of its open sync round
+	links     map[linkKey]*linkState //spyker:guardedby(mu)
 }
 
 // linkKey identifies a directed link between two trace node IDs.
@@ -429,6 +429,8 @@ func (m *MetricsSink) Emit(e Event) {
 
 // link returns the matcher state of the directed link src -> dst;
 // callers hold m.mu.
+//
+//spyker:locked(mu)
 func (m *MetricsSink) link(src, dst int) *linkState {
 	k := linkKey{src, dst}
 	ls, ok := m.links[k]

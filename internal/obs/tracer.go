@@ -19,10 +19,10 @@ const DefaultTracerCap = 1 << 18
 // counted in Dropped. Safe for concurrent use.
 type Tracer struct {
 	mu      sync.Mutex
-	buf     []Event
-	next    int    // next write position
-	wrapped bool   // buffer has been overwritten at least once
-	total   uint64 // events ever emitted
+	buf     []Event //spyker:guardedby(mu)
+	next    int     //spyker:guardedby(mu) — next write position
+	wrapped bool    //spyker:guardedby(mu) — buffer has been overwritten at least once
+	total   uint64  //spyker:guardedby(mu) — events ever emitted
 }
 
 // NewTracer creates a tracer holding up to capacity events
@@ -74,6 +74,9 @@ func (t *Tracer) Dropped() uint64 {
 	return t.total - uint64(t.lenLocked())
 }
 
+// lenLocked reports the retained event count; caller holds t.mu.
+//
+//spyker:locked(mu)
 func (t *Tracer) lenLocked() int {
 	if t.wrapped {
 		return len(t.buf)

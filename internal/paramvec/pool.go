@@ -24,7 +24,7 @@ type CounterAdder interface{ Add(n int64) }
 // ready to use and safe for concurrent use.
 type Pool struct {
 	mu      sync.Mutex
-	classes map[int]*sync.Pool
+	classes map[int]*sync.Pool //spyker:guardedby(mu)
 
 	live     atomic.Int64 // vectors handed out and not yet returned
 	recycled atomic.Int64 // Gets served from the free-list rather than fresh

@@ -30,6 +30,7 @@ const (
 	LayerGeo        = "geo"
 	LayerLive       = "live"
 	LayerObs        = "obs"
+	LayerLint       = "lint"
 )
 
 // Instance is one set-up scenario ready to be timed.

@@ -1,0 +1,69 @@
+package perf
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+
+	"github.com/spyker-fl/spyker/internal/lint"
+)
+
+func init() {
+	// The cost of enforcement: one full spyker-lint pass (all 7
+	// analyzers, CFG + dataflow included) over the whole repository —
+	// the exact work the CI lint step pays on every push, which that
+	// step guards with a 30s timeout. Tracking it in BENCH manifests
+	// catches a CFG-engine regression (say, a fixpoint that stops
+	// converging early) before it turns the lint step into the slowest
+	// thing in CI. The escape gate is off: it shells out to the
+	// compiler, which would measure `go tool compile`, not the engine.
+	// Not in the smoke subset — parsing and type-checking the tree is
+	// seconds, not microseconds.
+	Register(Scenario{
+		Name:   "lint/analyze-tree",
+		Layer:  LayerLint,
+		Smoke:  false,
+		Reps:   3,
+		Warmup: 1,
+		Setup: func() (Instance, error) {
+			root, err := moduleRootDir()
+			if err != nil {
+				return Instance{}, err
+			}
+			cfg := lint.DefaultConfig()
+			cfg.EscapeGate = false
+			var findings int
+			return Instance{
+				Step: func() {
+					diags, err := lint.Run(cfg, root, nil, "./...")
+					if err != nil {
+						panic(err)
+					}
+					findings = len(diags)
+				},
+				Extras: func() map[string]float64 {
+					return map[string]float64{"findings": float64(findings)}
+				},
+			}, nil
+		},
+	})
+}
+
+// moduleRootDir walks up from the working directory to go.mod, so the
+// scenario lints the repository wherever the runner was invoked from.
+func moduleRootDir() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", errors.New("perf: go.mod not found above working directory")
+		}
+		dir = parent
+	}
+}

@@ -167,9 +167,9 @@ type Sender interface {
 // Recv must be driven from a single reader goroutine.
 type Conn struct {
 	raw net.Conn
-	enc *gob.Encoder
+	enc *gob.Encoder //spyker:guardedby(mu)
 	dec *gob.Decoder
-	mu  sync.Mutex // guards enc
+	mu  sync.Mutex
 
 	framesSent, framesRecv atomic.Int64
 	bytesSent, bytesRecv   atomic.Int64
